@@ -1,0 +1,182 @@
+package repro_test
+
+// One benchmark per reproduced table/figure (see DESIGN.md's
+// experiment index), each running its experiment harness at the quick
+// scale, plus microbenchmarks for the simulators' raw throughput.
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The paper-scale numbers in EXPERIMENTS.md come from
+// `go run ./cmd/repro -exp all -scale full`.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/expt"
+	"repro/internal/noc"
+	"repro/internal/noc/engine"
+	"repro/internal/noc/topology"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// benchScale keeps per-iteration work bounded.
+func benchScale() expt.Scale {
+	s := expt.Quick()
+	s.OpsPerCore = 150
+	s.Workloads = []string{"fft", "radix"}
+	s.SpeedSizes = []int{16}
+	s.SpeedOps = 100
+	return s
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := expt.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(s)
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no results", id)
+		}
+	}
+}
+
+func BenchmarkT1Config(b *testing.B)         { benchExperiment(b, "T1") }
+func BenchmarkF1LoadLatency(b *testing.B)    { benchExperiment(b, "F1") }
+func BenchmarkF2Isolation(b *testing.B)      { benchExperiment(b, "F2") }
+func BenchmarkF3Latency(b *testing.B)        { benchExperiment(b, "F3") }
+func BenchmarkF4ErrorReduction(b *testing.B) { benchExperiment(b, "F4") }
+func BenchmarkF5ExecTime(b *testing.B)       { benchExperiment(b, "F5") }
+func BenchmarkF6Quantum(b *testing.B)        { benchExperiment(b, "F6") }
+func BenchmarkF7GPUSpeed(b *testing.B)       { benchExperiment(b, "F7") }
+func BenchmarkF8GPUBreakdown(b *testing.B)   { benchExperiment(b, "F8") }
+func BenchmarkT2DesignSpace(b *testing.B)    { benchExperiment(b, "T2") }
+func BenchmarkA1Hybrid(b *testing.B)         { benchExperiment(b, "A1") }
+func BenchmarkA2Engine(b *testing.B)         { benchExperiment(b, "A2") }
+
+// BenchmarkNoCCycles measures raw cycle-level NoC throughput
+// (router-cycles per second) on an 8x8 mesh at moderate load.
+func BenchmarkNoCCycles(b *testing.B) {
+	m := topology.NewMesh(8, 8, 1)
+	net, err := noc.New(noc.DefaultConfig(), m, topology.NewXY(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	gen := traffic.Generator{Pattern: traffic.Uniform{}, Rate: 0.1, Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Tick(net, net.Cycle())
+		net.Step()
+		net.Drain()
+	}
+	b.ReportMetric(float64(b.N)*64, "router-cycles/op-total")
+	b.ReportMetric(float64(net.FlitsSwitched())/float64(b.N), "flits/cycle")
+}
+
+// BenchmarkNoCCyclesParallel measures the same under the parallel
+// engine (on a multi-core host this shows the offload mechanism; on a
+// single-core host it measures dispatch overhead).
+func BenchmarkNoCCyclesParallel(b *testing.B) {
+	m := topology.NewMesh(8, 8, 1)
+	net, err := noc.New(noc.DefaultConfig(), m, topology.NewXY(m),
+		noc.WithEngine(engine.NewParallel(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	gen := traffic.Generator{Pattern: traffic.Uniform{}, Rate: 0.1, Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Tick(net, net.Cycle())
+		net.Step()
+		net.Drain()
+	}
+}
+
+// BenchmarkFullSystemCycles measures the coarse-grain system
+// simulator's cycle rate (16 tiles, abstract network).
+func BenchmarkFullSystemCycles(b *testing.B) {
+	cfg := repro.DefaultConfig(16)
+	wl := workload.NewCanneal(16, 1<<30, 5) // effectively endless
+	cs, err := repro.BuildCosim(cfg, repro.ModeAbstract, wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cs.Net.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Step()
+	}
+	b.ReportMetric(float64(cs.Cycle())/float64(b.N), "target-cycles/op")
+}
+
+// BenchmarkCosimSynchronous measures the ground-truth coupling's
+// end-to-end rate (16 tiles, detailed NoC, quantum 1).
+func BenchmarkCosimSynchronous(b *testing.B) {
+	cfg := repro.DefaultConfig(16)
+	wl := workload.NewFFT(16, 1<<30, 5)
+	cs, err := repro.BuildCosim(cfg, repro.ModeSynchronous, wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cs.Net.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Step()
+	}
+}
+
+// BenchmarkCosimReciprocal measures the quantum-coupled rate at the
+// default quantum.
+func BenchmarkCosimReciprocal(b *testing.B) {
+	cfg := repro.DefaultConfig(16)
+	wl := workload.NewFFT(16, 1<<30, 5)
+	cs, err := repro.BuildCosim(cfg, repro.ModeReciprocal, wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cs.Net.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Step() // one quantum (64 cycles) per iteration
+	}
+	b.ReportMetric(float64(cfg.Quantum), "target-cycles/op")
+}
+
+// BenchmarkEventQueue measures the simulation kernel's scheduling
+// throughput.
+func BenchmarkEventQueue(b *testing.B) {
+	var q sim.EventQueue
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(sim.Cycle(i+10), fn)
+		if i%4 == 3 {
+			q.RunUntil(sim.Cycle(i))
+		}
+	}
+}
+
+// BenchmarkRNG measures the deterministic random stream.
+func BenchmarkRNG(b *testing.B) {
+	r := sim.NewRNG(1, 1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += uint64(r.Uint32())
+	}
+	_ = sink
+}
+
+func BenchmarkA3DRAM(b *testing.B) { benchExperiment(b, "A3") }
+
+func BenchmarkA4Power(b *testing.B) { benchExperiment(b, "A4") }
+
+func BenchmarkA5RouterArch(b *testing.B) { benchExperiment(b, "A5") }

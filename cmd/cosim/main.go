@@ -1,0 +1,116 @@
+// Command cosim runs one co-simulation: a statistical multithreaded
+// workload on the target multicore, with the NoC simulated at the
+// chosen abstraction level.
+//
+// Example:
+//
+//	cosim -tiles 64 -workload fft -mode reciprocal -quantum 64
+//	cosim -tiles 256 -workload radix -mode reciprocal-gpu
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		tiles     = flag.Int("tiles", 64, "number of tiles (cores)")
+		wlName    = flag.String("workload", "fft", "workload kernel: fft|lu|barnes|ocean|radix|water|raytrace|canneal")
+		mode      = flag.String("mode", "reciprocal", "network abstraction: synchronous|abstract|contention|reciprocal|reciprocal-gpu|hybrid")
+		quantum   = flag.Int("quantum", 64, "synchronization quantum in cycles")
+		ops       = flag.Int("ops", 1000, "memory operations per core")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+		limit     = flag.Uint64("limit", 50_000_000, "cycle limit")
+		torus     = flag.Bool("torus", false, "use a torus instead of a mesh")
+		routing   = flag.String("routing", "xy", "mesh routing: xy|yx|oddeven")
+		workers   = flag.Int("workers", 0, "parallel engine workers for GPU mode (0 = GOMAXPROCS)")
+		memModel  = flag.String("mem", "fixed", "memory model: fixed|ddr")
+		router    = flag.String("router", "vc", "router architecture for detailed modes: vc|deflect")
+		sysStats  = flag.Bool("sysstats", false, "print system-level execution statistics")
+		saveTrace = flag.String("savetrace", "", "write the injection trace of the first mode to this file (JSON lines)")
+		prefetch  = flag.Int("prefetch", 0, "next-line L1 prefetch degree (0 = off)")
+	)
+	flag.Parse()
+
+	cfg := repro.DefaultConfig(*tiles)
+	cfg.Quantum = *quantum
+	cfg.Torus = *torus
+	cfg.Routing = *routing
+	cfg.Workers = *workers
+	cfg.System.MemModel = *memModel
+	cfg.System.PrefetchDegree = *prefetch
+	cfg.RouterArch = *router
+
+	var results []core.Result
+	allFinished := true
+	for mi, m := range strings.Split(*mode, ",") {
+		m = strings.TrimSpace(m)
+		// Each mode reruns the identical deterministic workload.
+		wl, err := workload.ByName(*wlName, *tiles, *ops, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		var cs *core.Cosim
+		var rec *core.Recorder
+		if *saveTrace != "" && mi == 0 {
+			backend, err := repro.BuildBackend(cfg, repro.Mode(m))
+			if err != nil {
+				fatal(err)
+			}
+			rec = core.NewRecorder(backend)
+			cs, err = core.Build(cfg.System, wl, rec, cfg.Quantum)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			cs, err = repro.BuildCosim(cfg, repro.Mode(m), wl)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		res := cs.Run(sim.Cycle(*limit))
+		if rec != nil {
+			f, err := os.Create(*saveTrace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := core.SaveTrace(f, rec.Trace); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %d trace entries to %s\n", len(rec.Trace), *saveTrace)
+		}
+		results = append(results, res)
+		allFinished = allFinished && res.Finished
+		if *memModel == "ddr" {
+			d := cs.Sys.DRAMStats()
+			fmt.Printf("dram[%s]: reads=%d writes=%d row-hit=%.1f%% avg-lat=%.1f queue=%.2f\n",
+				m, d.Reads, d.Writes, d.RowHitRate()*100, d.AvgLatency, d.AvgQueueDepth)
+		}
+		if *sysStats {
+			cs.Sys.StatsTable("system statistics (" + m + ")").WriteText(os.Stdout)
+			fmt.Println()
+		}
+		cs.Net.Close()
+	}
+	core.LatencyTable(fmt.Sprintf("cosim: %s on %d tiles", *wlName, *tiles),
+		results).WriteText(os.Stdout)
+	if !allFinished {
+		fatal(fmt.Errorf("a workload did not finish within %d cycles", *limit))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cosim:", err)
+	os.Exit(1)
+}

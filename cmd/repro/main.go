@@ -1,0 +1,86 @@
+// Command repro regenerates the reproduced tables and figures (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for recorded runs).
+//
+// Example:
+//
+//	repro -list
+//	repro -exp F4                 # headline accuracy experiment
+//	repro -exp all -scale quick   # everything, CI-sized
+//	repro -exp all -scale full    # paper-scale (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (T1,F1..F8,T2,A1,A2) or 'all'")
+		scale = flag.String("scale", "quick", "scale: quick|full")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
+		js    = flag.Bool("json", false, "emit JSON instead of text tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var s expt.Scale
+	switch *scale {
+	case "quick":
+		s = expt.Quick()
+	case "full":
+		s = expt.Full()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	var exps []expt.Experiment
+	if strings.EqualFold(*exp, "all") {
+		exps = expt.All()
+	} else {
+		e, err := expt.ByID(strings.ToUpper(*exp))
+		if err != nil {
+			fatal(err)
+		}
+		exps = []expt.Experiment{e}
+	}
+
+	for _, e := range exps {
+		fmt.Printf("### %s — %s (scale=%s)\n", e.ID, e.Title, *scale)
+		start := time.Now()
+		tables := e.Run(s)
+		for _, tb := range tables {
+			var err error
+			switch {
+			case *js:
+				err = tb.WriteJSON(os.Stdout)
+			case *csv:
+				err = tb.WriteCSV(os.Stdout)
+			default:
+				err = tb.WriteText(os.Stdout)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

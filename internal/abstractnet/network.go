@@ -1,0 +1,124 @@
+package abstractnet
+
+import (
+	"container/heap"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Network is the abstract network backend: it accepts the same packets
+// as the cycle-level simulator but resolves each delivery time
+// analytically at injection, modelling only per-source serialization
+// (the NI sends one flit per cycle) on top of the analytical model's
+// latency. It satisfies the co-simulation Backend contract.
+type Network struct {
+	model   Model
+	tracker *stats.LatencyTracker
+
+	pending deliveryHeap
+	srcFree map[int]sim.Cycle // per source: cycle the NI frees up
+
+	cycle     sim.Cycle
+	injected  uint64
+	delivered uint64
+	nextID    uint64
+	drainBuf  []*noc.Packet
+}
+
+// NewNetwork returns an abstract backend over the given model.
+func NewNetwork(model Model) *Network {
+	return &Network{
+		model:   model,
+		tracker: stats.NewLatencyTracker(4, 512),
+		srcFree: make(map[int]sim.Cycle),
+	}
+}
+
+// Model exposes the underlying analytical model (for tuning).
+func (n *Network) Model() Model { return n.model }
+
+// Inject computes the packet's delivery time analytically and queues
+// it for Drain. Serialization at the source NI is modelled by keeping
+// the source busy for one cycle per flit.
+func (n *Network) Inject(p *noc.Packet, at sim.Cycle) {
+	p.ID = n.nextID
+	n.nextID++
+	p.CreatedAt = at
+	start := at
+	if free, ok := n.srcFree[p.Src]; ok && free > start {
+		start = free
+	}
+	n.srcFree[p.Src] = start + sim.Cycle(p.Size)
+	p.InjectedAt = start
+	lat := n.model.Latency(p.Src, p.Dst, p.Size, start)
+	if lat < 1 {
+		lat = 1
+	}
+	p.DeliveredAt = start + sim.Cycle(lat+0.5)
+	p.Hops = 0 // the abstract model does not traverse routers
+	heap.Push(&n.pending, p)
+	n.injected++
+}
+
+// AdvanceTo moves the abstract clock to the given cycle; there is
+// nothing to simulate beyond rolling the model's load windows.
+func (n *Network) AdvanceTo(cycle sim.Cycle) {
+	n.cycle = cycle
+	n.model.AdvanceTo(cycle)
+}
+
+// Cycle reports the abstract clock.
+func (n *Network) Cycle() sim.Cycle { return n.cycle }
+
+// Drain returns packets whose computed delivery time has arrived,
+// recording latency statistics. The returned slice is reused.
+func (n *Network) Drain() []*noc.Packet {
+	out := n.drainBuf[:0]
+	for n.pending.Len() > 0 && n.pending[0].DeliveredAt <= n.cycle {
+		p := heap.Pop(&n.pending).(*noc.Packet)
+		n.tracker.Record(p.Class,
+			float64(p.QueueingLatency()), float64(p.NetworkLatency()), p.Hops)
+		out = append(out, p)
+	}
+	n.delivered += uint64(len(out))
+	n.drainBuf = out
+	return out
+}
+
+// Tracker reports latency statistics of drained packets.
+func (n *Network) Tracker() *stats.LatencyTracker { return n.tracker }
+
+// Injected reports accepted packets.
+func (n *Network) Injected() uint64 { return n.injected }
+
+// Delivered reports drained packets.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// InFlight reports packets injected but not drained.
+func (n *Network) InFlight() int { return int(n.injected - n.delivered) }
+
+// Quiescent reports whether all injected packets have been drained.
+func (n *Network) Quiescent() bool { return n.pending.Len() == 0 }
+
+// deliveryHeap orders packets by delivery time, then id.
+type deliveryHeap []*noc.Packet
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if h[i].DeliveredAt != h[j].DeliveredAt {
+		return h[i].DeliveredAt < h[j].DeliveredAt
+	}
+	return h[i].ID < h[j].ID
+}
+func (h deliveryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x interface{}) { *h = append(*h, x.(*noc.Packet)) }
+func (h *deliveryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,77 @@
+package abstractnet
+
+import "repro/internal/noc/topology"
+
+// gridTopo is the subset of grid topology behaviour the contention
+// model needs to enumerate dimension-order paths. *topology.Mesh and
+// *topology.Torus both satisfy it.
+type gridTopo interface {
+	topology.Topology
+	Coord(router int) (x, y int)
+	RouterAt(x, y int) int
+	Width() int
+	Height() int
+	Wrap() bool
+}
+
+// gridPather enumerates the directed links on a packet's
+// dimension-order path. Link ids are router*4 + direction.
+type gridPather struct {
+	g gridTopo
+}
+
+func newGridPather(t topology.Topology) (*gridPather, bool) {
+	g, ok := t.(gridTopo)
+	if !ok {
+		return nil, false
+	}
+	return &gridPather{g: g}, true
+}
+
+func (p *gridPather) numLinks() int { return p.g.NumRouters() * 4 }
+
+// pathLinks appends the directed link ids on the dimension-order path
+// from terminal src to terminal dst.
+func (p *gridPather) pathLinks(src, dst int, buf []int) []int {
+	sr, _ := p.g.RouterOf(src)
+	dr, _ := p.g.RouterOf(dst)
+	cx, cy := p.g.Coord(sr)
+	dx, dy := p.g.Coord(dr)
+	w, h := p.g.Width(), p.g.Height()
+	for cx != dx {
+		step := gridStep(cx, dx, w, p.g.Wrap())
+		dir := topology.East
+		if step < 0 {
+			dir = topology.West
+		}
+		buf = append(buf, p.g.RouterAt(cx, cy)*4+dir)
+		cx = (cx + step + w) % w
+	}
+	for cy != dy {
+		step := gridStep(cy, dy, h, p.g.Wrap())
+		dir := topology.South
+		if step < 0 {
+			dir = topology.North
+		}
+		buf = append(buf, p.g.RouterAt(cx, cy)*4+dir)
+		cy = (cy + step + h) % h
+	}
+	return buf
+}
+
+// gridStep picks the travel direction along one dimension: the sign of
+// the displacement on a mesh, the shorter way around on a torus.
+func gridStep(cur, dst, n int, wrap bool) int {
+	if !wrap {
+		if dst > cur {
+			return +1
+		}
+		return -1
+	}
+	fwd := (dst - cur + n) % n
+	bwd := n - fwd
+	if fwd < bwd || (fwd == bwd && cur%2 == 0) {
+		return +1
+	}
+	return -1
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/abstractnet"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Calibrated is the full reciprocal-feedback integration: the system's
+// message timing comes from the tuned analytical model (zero quantum
+// skew — the network abstracted as a latency oracle), while every
+// packet is also replicated into the detailed cycle-level NoC, which
+// simulates the real traffic one quantum behind and feeds measured
+// latencies back to re-tune the model. Packet latency statistics are
+// the detailed network's — measured on the actual system traffic, not
+// on a synthetic approximation — which is precisely the paper's answer
+// to in-vacuum component evaluation.
+type Calibrated struct {
+	detailed Backend
+	model    *abstractnet.Tuned
+	timing   *abstractnet.Network
+
+	// RetunePeriod is how often (in cycles) the model refits.
+	RetunePeriod sim.Cycle
+
+	preds    map[*noc.Packet]float64
+	lastTune sim.Cycle
+	shadowed uint64
+}
+
+// NewCalibrated builds the calibrated backend over a detailed backend
+// and a tuned model.
+func NewCalibrated(detailed Backend, model *abstractnet.Tuned, retunePeriod sim.Cycle) (*Calibrated, error) {
+	if retunePeriod < 1 {
+		return nil, fmt.Errorf("core: retune period must be >= 1, got %d", retunePeriod)
+	}
+	return &Calibrated{
+		detailed:     detailed,
+		model:        model,
+		timing:       abstractnet.NewNetwork(model),
+		RetunePeriod: retunePeriod,
+		preds:        make(map[*noc.Packet]float64),
+	}, nil
+}
+
+// Name implements Backend.
+func (c *Calibrated) Name() string { return "calibrated" }
+
+// Inject implements Backend: the original packet is timed by the
+// model; a shadow copy carries the measurement through the detailed
+// network.
+func (c *Calibrated) Inject(p *noc.Packet, at sim.Cycle) {
+	shadow := &noc.Packet{
+		Src: p.Src, Dst: p.Dst, VNet: p.VNet, Class: p.Class, Size: p.Size,
+	}
+	c.timing.Inject(p, at)
+	c.preds[shadow] = float64(p.DeliveredAt - p.CreatedAt)
+	c.detailed.Inject(shadow, at)
+	c.shadowed++
+}
+
+// AdvanceTo implements Backend. The timing side advances every call
+// (the system consults the model inline, with no delivery skew); the
+// shadow detailed network advances one RetunePeriod-sized batch at a
+// time — the batching that makes its GPU offload profitable — and its
+// drained observations re-tune the model.
+func (c *Calibrated) AdvanceTo(cy sim.Cycle) {
+	c.timing.AdvanceTo(cy)
+	if cy-c.lastTune < c.RetunePeriod {
+		return
+	}
+	c.detailed.AdvanceTo(cy)
+	for _, p := range c.detailed.Drain() {
+		if pred, ok := c.preds[p]; ok {
+			c.model.Observe(pred, float64(p.TotalLatency()))
+			delete(c.preds, p)
+		}
+	}
+	c.model.Retune()
+	c.lastTune = cy - cy%c.RetunePeriod
+}
+
+// Drain implements Backend with the system-visible (model-timed)
+// deliveries.
+func (c *Calibrated) Drain() []*noc.Packet { return c.timing.Drain() }
+
+// Tracker implements Backend with the DETAILED network's measured
+// statistics: the reported packet latencies come from cycle-level
+// simulation of the system's real traffic.
+func (c *Calibrated) Tracker() *stats.LatencyTracker { return c.detailed.Tracker() }
+
+// TimingTracker reports the model-side latency statistics (what the
+// system experienced).
+func (c *Calibrated) TimingTracker() *stats.LatencyTracker { return c.timing.Tracker() }
+
+// Model exposes the tuned model (tests inspect the fit).
+func (c *Calibrated) Model() *abstractnet.Tuned { return c.model }
+
+// InFlight implements Backend; system progress depends on the timing
+// side only.
+func (c *Calibrated) InFlight() int { return c.timing.InFlight() }
+
+// Close implements Backend.
+func (c *Calibrated) Close() { c.detailed.Close() }

@@ -1,0 +1,129 @@
+// Package core implements the paper's primary contribution: reciprocal
+// abstraction for computer-architecture co-simulation.
+//
+// Two simulators at different fidelities are coupled so that each sees
+// only an abstraction of the other. The coarse-grain full-system
+// simulator (internal/fullsys) sees the network as a latency oracle:
+// it injects messages and receives timestamped deliveries. The
+// cycle-level NoC (internal/noc) sees the system as a timestamped
+// traffic source. Synchronization happens every quantum of Q target
+// cycles: the system simulates [t, t+Q) and buffers its injections;
+// the network then simulates the same window and returns deliveries,
+// which reach the system at the quantum boundary. Q = 1 degenerates to
+// fully synchronous (ground-truth) coupling; larger Q trades a bounded
+// delivery skew for speed and for the ability to batch the network
+// quantum as one data-parallel kernel — which is what makes the GPU
+// coprocessor offload (internal/gpu) profitable.
+//
+// The reciprocal feedback direction is the Tuned abstract model
+// (internal/abstractnet): per-packet (predicted, observed) latency
+// pairs collected from the detailed network re-fit the analytical
+// model online, so hybrid sampling runs can fall back to the abstract
+// model between detailed windows without going back to its cold,
+// uncalibrated error.
+package core
+
+import (
+	"repro/internal/abstractnet"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Backend is a network implementation usable for co-simulation. The
+// coordinator injects timestamped packets, advances the backend to a
+// cycle, and drains timestamped deliveries.
+type Backend interface {
+	// Name identifies the backend in tables and logs.
+	Name() string
+	// Inject queues a packet created at cycle `at`. Injections at each
+	// source must be in nondecreasing time order.
+	Inject(p *noc.Packet, at sim.Cycle)
+	// AdvanceTo simulates through the end of cycle c-1 so that
+	// deliveries with DeliveredAt <= c-1 are available (abstract
+	// backends simply move their clock).
+	AdvanceTo(c sim.Cycle)
+	// Drain returns newly available deliveries (slice reused).
+	Drain() []*noc.Packet
+	// Tracker reports latency statistics of drained packets.
+	Tracker() *stats.LatencyTracker
+	// InFlight reports injected-but-undrained packets.
+	InFlight() int
+	// Close releases backend resources.
+	Close()
+}
+
+// CycleNet is the cycle-level network behaviour the Detailed adapter
+// needs; both the virtual-channel network (*noc.Network) and the
+// bufferless deflection network (*noc.Deflection) satisfy it.
+type CycleNet interface {
+	Inject(p *noc.Packet, at sim.Cycle)
+	Step()
+	Cycle() sim.Cycle
+	Drain() []*noc.Packet
+	Tracker() *stats.LatencyTracker
+	InFlight() int
+	Close()
+}
+
+// Detailed adapts a cycle-level network to the Backend contract.
+type Detailed struct {
+	Net CycleNet
+}
+
+// NewDetailed wraps a cycle-level network.
+func NewDetailed(net CycleNet) *Detailed { return &Detailed{Net: net} }
+
+// Name implements Backend.
+func (d *Detailed) Name() string { return "detailed" }
+
+// Inject implements Backend.
+func (d *Detailed) Inject(p *noc.Packet, at sim.Cycle) { d.Net.Inject(p, at) }
+
+// AdvanceTo implements Backend by stepping the network cycle by cycle.
+func (d *Detailed) AdvanceTo(c sim.Cycle) {
+	for d.Net.Cycle() < c {
+		d.Net.Step()
+	}
+}
+
+// Drain implements Backend.
+func (d *Detailed) Drain() []*noc.Packet { return d.Net.Drain() }
+
+// Tracker implements Backend.
+func (d *Detailed) Tracker() *stats.LatencyTracker { return d.Net.Tracker() }
+
+// InFlight implements Backend.
+func (d *Detailed) InFlight() int { return d.Net.InFlight() }
+
+// Close implements Backend.
+func (d *Detailed) Close() { d.Net.Close() }
+
+// Abstract adapts the analytical network to the Backend contract.
+type Abstract struct {
+	Net *abstractnet.Network
+}
+
+// NewAbstract wraps an abstract network.
+func NewAbstract(net *abstractnet.Network) *Abstract { return &Abstract{Net: net} }
+
+// Name implements Backend.
+func (a *Abstract) Name() string { return "abstract-" + a.Net.Model().Name() }
+
+// Inject implements Backend.
+func (a *Abstract) Inject(p *noc.Packet, at sim.Cycle) { a.Net.Inject(p, at) }
+
+// AdvanceTo implements Backend.
+func (a *Abstract) AdvanceTo(c sim.Cycle) { a.Net.AdvanceTo(c) }
+
+// Drain implements Backend.
+func (a *Abstract) Drain() []*noc.Packet { return a.Net.Drain() }
+
+// Tracker implements Backend.
+func (a *Abstract) Tracker() *stats.LatencyTracker { return a.Net.Tracker() }
+
+// InFlight implements Backend.
+func (a *Abstract) InFlight() int { return a.Net.InFlight() }
+
+// Close implements Backend.
+func (a *Abstract) Close() {}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fullsys"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Cosim couples a full-system simulator to a network backend with
+// quantum-based reciprocal abstraction.
+type Cosim struct {
+	// Sys is the coarse-grain full-system simulator.
+	Sys *fullsys.System
+	// Net is the network backend (detailed, abstract, GPU, or hybrid).
+	Net Backend
+	// Quantum is the synchronization interval in cycles (1 = fully
+	// synchronous ground truth).
+	Quantum int
+
+	// WatchdogQuanta aborts Run when no core retires an operation for
+	// this many consecutive quanta (0 disables the watchdog). It turns
+	// protocol or coupling deadlocks into diagnosable errors instead
+	// of silent cycle-limit exhaustion.
+	WatchdogQuanta int
+
+	cycle       sim.Cycle
+	skewSum     uint64
+	skewMax     sim.Cycle
+	delivered   uint64
+	sysWall     time.Duration
+	netWall     time.Duration
+	lastRetired uint64
+	stuckFor    int
+	stalled     bool
+}
+
+// New wires a system and a backend together. The system must have been
+// constructed with SenderFor(backend) as its send callback; use Build
+// for the common case.
+func New(sys *fullsys.System, backend Backend, quantum int) (*Cosim, error) {
+	if quantum < 1 {
+		return nil, fmt.Errorf("core: quantum must be >= 1, got %d", quantum)
+	}
+	return &Cosim{Sys: sys, Net: backend, Quantum: quantum, WatchdogQuanta: 1 << 20}, nil
+}
+
+// SenderFor returns the fullsys send callback that injects messages
+// into the backend as network packets.
+func SenderFor(backend Backend) fullsys.Sender {
+	return func(m fullsys.Msg, at sim.Cycle) {
+		backend.Inject(&noc.Packet{
+			Src:     m.Src,
+			Dst:     m.Dst,
+			VNet:    m.Type.VNet(),
+			Class:   m.Type.Class(),
+			Size:    m.Flits(),
+			Payload: m,
+		}, at)
+	}
+}
+
+// Build constructs the system over the workload and couples it to the
+// backend with the given quantum.
+func Build(cfg fullsys.Config, wl fullsys.Workload, backend Backend, quantum int) (*Cosim, error) {
+	sys, err := fullsys.New(cfg, wl, SenderFor(backend))
+	if err != nil {
+		return nil, err
+	}
+	return New(sys, backend, quantum)
+}
+
+// Result summarizes one co-simulation run.
+type Result struct {
+	// Mode names the backend and quantum.
+	Mode string
+	// Finished reports whether the workload ran to completion.
+	Finished bool
+	// Stalled reports a watchdog abort: no core retired an operation
+	// for WatchdogQuanta consecutive quanta.
+	Stalled bool
+	// ExecCycles is the target execution time (cycle of last halt, or
+	// the cycle limit if not finished).
+	ExecCycles sim.Cycle
+	// Packets is the number of delivered network packets.
+	Packets uint64
+	// AvgLatency, AvgNetLatency are mean end-to-end and in-network
+	// packet latencies in cycles.
+	AvgLatency, AvgNetLatency float64
+	// P95Latency is the 95th-percentile end-to-end latency.
+	P95Latency float64
+	// AvgHops is the mean hop count (0 for abstract backends).
+	AvgHops float64
+	// AvgSkew and MaxSkew report delivery lateness introduced by the
+	// quantum (cycles a delivery waited for the next boundary).
+	AvgSkew float64
+	MaxSkew sim.Cycle
+	// SysWall and NetWall split host time between the two simulators.
+	SysWall, NetWall time.Duration
+	// Retired is the number of retired core operations.
+	Retired uint64
+}
+
+// Cycle reports the next cycle to simulate.
+func (c *Cosim) Cycle() sim.Cycle { return c.cycle }
+
+// Step advances the co-simulation by one quantum (or less, if the
+// workload finishes mid-quantum). It returns false when the workload
+// has completed.
+func (c *Cosim) Step() bool {
+	end := c.cycle + sim.Cycle(c.Quantum)
+	t0 := time.Now()
+	for t := c.cycle; t < end; t++ {
+		c.Sys.Tick(t)
+	}
+	t1 := time.Now()
+	c.Net.AdvanceTo(end)
+	for _, p := range c.Net.Drain() {
+		now := end - 1
+		if p.DeliveredAt < now {
+			c.skewSum += uint64(now - p.DeliveredAt)
+			if now-p.DeliveredAt > c.skewMax {
+				c.skewMax = now - p.DeliveredAt
+			}
+		}
+		c.delivered++
+		c.Sys.Deliver(p.Payload.(fullsys.Msg), p.DeliveredAt)
+	}
+	c.netWall += time.Since(t1)
+	c.sysWall += t1.Sub(t0)
+	c.cycle = end
+	return !c.Sys.Done()
+}
+
+// Run advances the co-simulation until the workload completes, the
+// cycle limit is reached, or the watchdog detects a stall. The summary
+// reports Finished=false with Stalled=true on watchdog aborts.
+func (c *Cosim) Run(limit sim.Cycle) Result {
+	for c.cycle < limit && c.Step() {
+		if c.WatchdogQuanta <= 0 {
+			continue
+		}
+		if r := c.Sys.Retired(); r != c.lastRetired {
+			c.lastRetired = r
+			c.stuckFor = 0
+		} else if c.stuckFor++; c.stuckFor >= c.WatchdogQuanta {
+			c.stalled = true
+			break
+		}
+	}
+	return c.result(limit)
+}
+
+func (c *Cosim) result(limit sim.Cycle) Result {
+	tr := c.Net.Tracker()
+	r := Result{
+		Mode:          fmt.Sprintf("%s/q%d", c.Net.Name(), c.Quantum),
+		Finished:      c.Sys.Done(),
+		Stalled:       c.stalled,
+		ExecCycles:    c.cycle,
+		Packets:       tr.Count(),
+		AvgLatency:    tr.Mean(),
+		AvgNetLatency: tr.MeanNetwork(),
+		P95Latency:    tr.Percentile(0.95),
+		AvgHops:       tr.MeanHops(),
+		MaxSkew:       c.skewMax,
+		SysWall:       c.sysWall,
+		NetWall:       c.netWall,
+		Retired:       c.Sys.Retired(),
+	}
+	if c.Sys.Done() {
+		r.ExecCycles = c.Sys.FinishCycle()
+	}
+	if c.delivered > 0 {
+		r.AvgSkew = float64(c.skewSum) / float64(c.delivered)
+	}
+	return r
+}
+
+// LatencyTable formats a set of results as a comparison table.
+func LatencyTable(title string, results []Result) *stats.Table {
+	t := stats.NewTable(title,
+		"mode", "finished", "exec-cycles", "packets", "avg-lat", "net-lat", "p95", "avg-skew", "sys-wall", "net-wall")
+	for _, r := range results {
+		t.AddRow(r.Mode, r.Finished, uint64(r.ExecCycles), r.Packets,
+			r.AvgLatency, r.AvgNetLatency, r.P95Latency, r.AvgSkew,
+			r.SysWall.Round(time.Millisecond).String(),
+			r.NetWall.Round(time.Millisecond).String())
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// traceRecord is the on-disk schema for one trace entry (JSON lines,
+// one injection per line — greppable and diffable).
+type traceRecord struct {
+	At    uint64 `json:"at"`
+	Src   int    `json:"src"`
+	Dst   int    `json:"dst"`
+	VNet  int    `json:"vnet"`
+	Size  int    `json:"size"`
+	Class uint8  `json:"class"`
+}
+
+// SaveTrace writes a captured injection trace as JSON lines. Traces
+// captured from one co-simulation can be replayed open-loop into any
+// network configuration (cmd/nocsim -replay), which is precisely the
+// in-vacuum methodology experiment F2 quantifies the error of — the
+// tooling exists so that error can be measured, not hidden.
+func SaveTrace(w io.Writer, trace []TraceEntry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range trace {
+		rec := traceRecord{
+			At: uint64(e.At), Src: e.Src, Dst: e.Dst,
+			VNet: e.VNet, Size: e.Size, Class: uint8(e.Class),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("core: writing trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTrace reads a JSON-lines trace written by SaveTrace, validating
+// entry ordering and field ranges for the given terminal count
+// (terminals <= 0 skips endpoint validation).
+func LoadTrace(r io.Reader, terminals int) ([]TraceEntry, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []TraceEntry
+	lastPerSrc := map[[2]int]sim.Cycle{} // (src, vnet) -> last At
+	for i := 0; ; i++ {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("core: trace entry %d: %w", i, err)
+		}
+		if rec.Size < 1 {
+			return nil, fmt.Errorf("core: trace entry %d: size %d", i, rec.Size)
+		}
+		if terminals > 0 && (rec.Src < 0 || rec.Src >= terminals || rec.Dst < 0 || rec.Dst >= terminals) {
+			return nil, fmt.Errorf("core: trace entry %d: endpoints %d->%d out of range [0,%d)",
+				i, rec.Src, rec.Dst, terminals)
+		}
+		key := [2]int{rec.Src, rec.VNet}
+		at := sim.Cycle(rec.At)
+		if prev, ok := lastPerSrc[key]; ok && at < prev {
+			return nil, fmt.Errorf("core: trace entry %d: timestamp %d precedes %d for source %d vnet %d",
+				i, at, prev, rec.Src, rec.VNet)
+		}
+		lastPerSrc[key] = at
+		out = append(out, TraceEntry{
+			At: at, Src: rec.Src, Dst: rec.Dst,
+			VNet: rec.VNet, Size: rec.Size, Class: stats.LatencyClass(rec.Class),
+		})
+	}
+}

@@ -1,0 +1,241 @@
+// Package dram implements a detailed DDR-style main-memory model: per
+// bank row-buffer state, FR-FCFS command scheduling, shared data-bus
+// serialization, and open-page policy. It exists to demonstrate the
+// paper's framework hosting a second detailed component: the
+// full-system simulator can attach either its fixed-latency memory
+// controller or this bank-level model, with the co-simulation layer
+// unchanged (see the A3 ablation in DESIGN.md).
+//
+// Timing parameters are expressed in core cycles (the DRAM clock is
+// folded into the constants), which keeps the model in the single
+// clock domain the rest of the simulator uses.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config holds the bank and timing parameters.
+type Config struct {
+	// Banks per controller.
+	Banks int
+	// RowLines is the row-buffer size in cache lines (columns/row).
+	RowLines int
+	// TRCD is activate-to-column delay (row open).
+	TRCD int
+	// TCAS is column access latency (read).
+	TCAS int
+	// TCWD is the write column delay.
+	TCWD int
+	// TRP is the precharge latency (row close).
+	TRP int
+	// TBurst is the data-bus occupancy per 64B line.
+	TBurst int
+	// QueueDepth bounds the request queue (0 = unbounded).
+	QueueDepth int
+}
+
+// DefaultConfig returns DDR3-1600-like timing expressed in 2 GHz core
+// cycles (tRCD = tCAS = tRP = 13.75ns ≈ 28 cycles, 4-beat burst of a
+// 64-bit bus ≈ 10 cycles).
+func DefaultConfig() Config {
+	return Config{
+		Banks:    8,
+		RowLines: 128, // 8 KiB rows
+		TRCD:     28,
+		TCAS:     28,
+		TCWD:     14,
+		TRP:      28,
+		TBurst:   10,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Banks < 1 || c.RowLines < 1 {
+		return fmt.Errorf("dram: invalid geometry banks=%d rowlines=%d", c.Banks, c.RowLines)
+	}
+	if c.TRCD < 1 || c.TCAS < 1 || c.TCWD < 1 || c.TRP < 1 || c.TBurst < 1 {
+		return fmt.Errorf("dram: non-positive timing parameter")
+	}
+	return nil
+}
+
+// Request is one outstanding memory access.
+type Request struct {
+	// Line is the cache-line address.
+	Line uint64
+	// Write marks a writeback (read-for-fill otherwise).
+	Write bool
+	// Done is called exactly once, at the core cycle the data transfer
+	// completes.
+	Done func(at sim.Cycle)
+
+	arrived sim.Cycle
+	bank    int
+	row     uint64
+}
+
+// bank is one DRAM bank's row-buffer state.
+type bank struct {
+	openRow int64 // -1 = precharged
+	readyAt sim.Cycle
+}
+
+// Controller is a single-channel memory controller with FR-FCFS
+// scheduling over an open-page row-buffer policy.
+type Controller struct {
+	cfg   Config
+	banks []bank
+	queue []*Request
+
+	busFreeAt sim.Cycle
+
+	// Statistics.
+	rowHits, rowMisses, rowConflicts uint64
+	reads, writes                    uint64
+	latency                          stats.Running
+	queueSamples                     stats.Running
+}
+
+// NewController returns a controller with all banks precharged.
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	return c, nil
+}
+
+// decode splits a line address into (bank, row): lines interleave
+// across banks, then fill rows.
+func (c *Controller) decode(line uint64) (bankIdx int, row uint64) {
+	bankIdx = int(line % uint64(c.cfg.Banks))
+	row = line / uint64(c.cfg.Banks) / uint64(c.cfg.RowLines)
+	return bankIdx, row
+}
+
+// Enqueue accepts a request; it reports false when the queue is full
+// (the caller must retry — the fullsys MC retries next cycle).
+func (c *Controller) Enqueue(r *Request, now sim.Cycle) bool {
+	if c.cfg.QueueDepth > 0 && len(c.queue) >= c.cfg.QueueDepth {
+		return false
+	}
+	if r.Done == nil {
+		panic("dram: request without completion callback")
+	}
+	r.arrived = now
+	r.bank, r.row = c.decode(r.Line)
+	c.queue = append(c.queue, r)
+	return true
+}
+
+// Pending reports queued requests.
+func (c *Controller) Pending() int { return len(c.queue) }
+
+// Tick advances the controller one core cycle: it issues at most one
+// request whose bank and the data bus are available, preferring row
+// hits over older requests (FR-FCFS), and fires completions.
+func (c *Controller) Tick(now sim.Cycle) {
+	c.queueSamples.Add(float64(len(c.queue)))
+	idx := c.pick(now)
+	if idx < 0 {
+		return
+	}
+	r := c.queue[idx]
+	c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+	c.issue(r, now)
+}
+
+// pick selects the next request index under FR-FCFS: the oldest
+// row-hit whose bank is ready, else the oldest request whose bank is
+// ready; -1 when nothing can issue.
+func (c *Controller) pick(now sim.Cycle) int {
+	oldest := -1
+	for i, r := range c.queue {
+		b := &c.banks[r.bank]
+		if b.readyAt > now {
+			continue
+		}
+		if b.openRow == int64(r.row) {
+			return i // oldest ready row-hit (queue is arrival-ordered)
+		}
+		if oldest < 0 {
+			oldest = i
+		}
+	}
+	return oldest
+}
+
+// issue models the request's command sequence and schedules its
+// completion.
+func (c *Controller) issue(r *Request, now sim.Cycle) {
+	b := &c.banks[r.bank]
+	start := now
+	if c.busFreeAt > start {
+		start = c.busFreeAt
+	}
+
+	var access sim.Cycle
+	switch {
+	case b.openRow == int64(r.row):
+		c.rowHits++
+	case b.openRow == -1:
+		c.rowMisses++
+		access += sim.Cycle(c.cfg.TRCD)
+	default:
+		c.rowConflicts++
+		access += sim.Cycle(c.cfg.TRP + c.cfg.TRCD)
+	}
+	if r.Write {
+		access += sim.Cycle(c.cfg.TCWD)
+		c.writes++
+	} else {
+		access += sim.Cycle(c.cfg.TCAS)
+		c.reads++
+	}
+	burst := sim.Cycle(c.cfg.TBurst)
+	done := start + access + burst
+
+	b.openRow = int64(r.row)
+	b.readyAt = done
+	c.busFreeAt = done // burst occupies the shared data bus at the end
+	c.latency.Add(float64(done - r.arrived))
+	r.Done(done)
+}
+
+// Stats summarizes the controller's behaviour.
+type Stats struct {
+	Reads, Writes                    uint64
+	RowHits, RowMisses, RowConflicts uint64
+	AvgLatency                       float64
+	AvgQueueDepth                    float64
+}
+
+// Snapshot reports accumulated statistics.
+func (c *Controller) Snapshot() Stats {
+	return Stats{
+		Reads:         c.reads,
+		Writes:        c.writes,
+		RowHits:       c.rowHits,
+		RowMisses:     c.rowMisses,
+		RowConflicts:  c.rowConflicts,
+		AvgLatency:    c.latency.Mean(),
+		AvgQueueDepth: c.queueSamples.Mean(),
+	}
+}
+
+// RowHitRate reports the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}

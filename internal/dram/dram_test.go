@@ -1,0 +1,199 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runAccess enqueues one request and ticks until completion, returning
+// the completion cycle.
+func runAccess(t *testing.T, c *Controller, line uint64, write bool, start sim.Cycle) sim.Cycle {
+	t.Helper()
+	var done sim.Cycle
+	ok := c.Enqueue(&Request{Line: line, Write: write, Done: func(at sim.Cycle) { done = at }}, start)
+	if !ok {
+		t.Fatal("enqueue rejected")
+	}
+	for cyc := start; cyc < start+100000; cyc++ {
+		c.Tick(cyc)
+		if done != 0 {
+			return done
+		}
+	}
+	t.Fatal("request never completed")
+	return 0
+}
+
+func TestRowMissThenHitLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold access: row miss = tRCD + tCAS + tBURST.
+	first := runAccess(t, c, 0, false, 10)
+	missLat := int(first - 10)
+	if want := cfg.TRCD + cfg.TCAS + cfg.TBurst; missLat != want {
+		t.Errorf("row-miss latency %d, want %d", missLat, want)
+	}
+	// Same row (line 0 and line 8 share bank 0 row 0): row hit.
+	second := runAccess(t, c, 8, false, first+1)
+	hitLat := int(second - (first + 1))
+	if want := cfg.TCAS + cfg.TBurst; hitLat != want {
+		t.Errorf("row-hit latency %d, want %d", hitLat, want)
+	}
+	st := c.Snapshot()
+	if st.RowHits != 1 || st.RowMisses != 1 || st.RowConflicts != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestRowConflictLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := NewController(cfg)
+	runAccess(t, c, 0, false, 0)
+	// Same bank (0), different row: conflict = tRP + tRCD + tCAS + tBURST.
+	otherRow := uint64(cfg.Banks * cfg.RowLines) // bank 0, row 1
+	start := sim.Cycle(5000)
+	done := runAccess(t, c, otherRow, false, start)
+	if got, want := int(done-start), cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.TBurst; got != want {
+		t.Errorf("conflict latency %d, want %d", got, want)
+	}
+	if c.Snapshot().RowConflicts != 1 {
+		t.Error("conflict not counted")
+	}
+}
+
+func TestWriteUsesCWD(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := NewController(cfg)
+	start := sim.Cycle(3)
+	done := runAccess(t, c, 0, true, start)
+	if got, want := int(done-start), cfg.TRCD+cfg.TCWD+cfg.TBurst; got != want {
+		t.Errorf("write latency %d, want %d", got, want)
+	}
+	if c.Snapshot().Writes != 1 {
+		t.Error("write not counted")
+	}
+}
+
+func TestFRFCFSPrefersRowHits(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := NewController(cfg)
+	// Open row 0 of bank 0.
+	runAccess(t, c, 0, false, 0)
+
+	var doneConflict, doneHit sim.Cycle
+	otherRow := uint64(cfg.Banks * cfg.RowLines)
+	// Older request conflicts; younger request hits the open row.
+	c.Enqueue(&Request{Line: otherRow, Done: func(at sim.Cycle) { doneConflict = at }}, 1000)
+	c.Enqueue(&Request{Line: 8, Done: func(at sim.Cycle) { doneHit = at }}, 1001)
+	for cyc := sim.Cycle(1002); doneConflict == 0 || doneHit == 0; cyc++ {
+		c.Tick(cyc)
+		if cyc > 100000 {
+			t.Fatal("requests stuck")
+		}
+	}
+	if doneHit >= doneConflict {
+		t.Errorf("FR-FCFS should complete the row hit first: hit@%d conflict@%d", doneHit, doneConflict)
+	}
+}
+
+func TestBankParallelismBeatsSerialBank(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func(lines []uint64) sim.Cycle {
+		c, _ := NewController(cfg)
+		remaining := len(lines)
+		var last sim.Cycle
+		for _, ln := range lines {
+			c.Enqueue(&Request{Line: ln, Done: func(at sim.Cycle) {
+				remaining--
+				if at > last {
+					last = at
+				}
+			}}, 0)
+		}
+		for cyc := sim.Cycle(0); remaining > 0; cyc++ {
+			c.Tick(cyc)
+			if cyc > 1000000 {
+				panic("stuck")
+			}
+		}
+		return last
+	}
+	rowSpan := uint64(cfg.Banks * cfg.RowLines)
+	// Four different banks, conflicting rows each time vs same bank
+	// conflicting rows: bank parallelism must overlap the activates.
+	parallel := run([]uint64{0 + rowSpan, 1 + 2*rowSpan, 2 + 3*rowSpan, 3 + 4*rowSpan})
+	serial := run([]uint64{0 + rowSpan, 0 + 2*rowSpan, 0 + 3*rowSpan, 0 + 4*rowSpan})
+	if parallel >= serial {
+		t.Errorf("bank parallelism: parallel=%d serial=%d", parallel, serial)
+	}
+}
+
+func TestBoundedQueueRejects(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 1
+	c, _ := NewController(cfg)
+	ok1 := c.Enqueue(&Request{Line: 0, Done: func(sim.Cycle) {}}, 0)
+	ok2 := c.Enqueue(&Request{Line: 1, Done: func(sim.Cycle) {}}, 0)
+	if !ok1 || ok2 {
+		t.Errorf("bounded queue: %v %v", ok1, ok2)
+	}
+	if c.Pending() != 1 {
+		t.Errorf("pending = %d", c.Pending())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Banks = 0
+	if _, err := NewController(bad); err == nil {
+		t.Error("zero banks should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.TCAS = 0
+	if _, err := NewController(bad); err == nil {
+		t.Error("zero tCAS should be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil Done should panic")
+		}
+	}()
+	c, _ := NewController(DefaultConfig())
+	c.Enqueue(&Request{Line: 0}, 0)
+}
+
+func TestRowHitRate(t *testing.T) {
+	s := Stats{RowHits: 3, RowMisses: 1, RowConflicts: 0}
+	if s.RowHitRate() != 0.75 {
+		t.Errorf("hit rate = %v", s.RowHitRate())
+	}
+	if (Stats{}).RowHitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []sim.Cycle {
+		c, _ := NewController(DefaultConfig())
+		var done []sim.Cycle
+		for i := uint64(0); i < 40; i++ {
+			line := i * 37 % 4096
+			c.Enqueue(&Request{Line: line, Write: i%3 == 0,
+				Done: func(at sim.Cycle) { done = append(done, at) }}, sim.Cycle(i))
+		}
+		for cyc := sim.Cycle(0); len(done) < 40; cyc++ {
+			c.Tick(cyc)
+		}
+		return done
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic completion %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the full experiment matrix fast enough for CI.
+func tinyScale() Scale {
+	s := Quick()
+	s.OpsPerCore = 150
+	s.Workloads = []string{"fft", "radix"}
+	s.SpeedSizes = []int{16}
+	s.SpeedOps = 100
+	return s
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment matrix is slow")
+	}
+	s := tinyScale()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(s)
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %q has no rows", tb.Title)
+				}
+				if len(tb.Columns) == 0 {
+					t.Errorf("table %q has no columns", tb.Title)
+				}
+				out := tb.String()
+				if !strings.Contains(out, tb.Columns[0]) {
+					t.Errorf("rendering of %q lacks header", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("F4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+// TestHeadlineDirection verifies on the quick scale that F4's mean row
+// reports a positive error reduction — the direction of claim C2.
+func TestHeadlineDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := tinyScale()
+	tables := FigureF4(s)
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	if last[0] != "mean" {
+		t.Fatalf("expected mean row, got %v", last)
+	}
+	reduction, err := strconv.ParseFloat(last[3], 64)
+	if err != nil {
+		t.Fatalf("bad reduction cell %q", last[3])
+	}
+	if reduction <= 0 {
+		t.Errorf("mean error reduction %.1f%% should be positive", reduction)
+	}
+}

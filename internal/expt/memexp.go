@@ -1,0 +1,43 @@
+package expt
+
+import (
+	"repro"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// FigureA3 is the framework-generality ablation: reciprocal
+// abstraction hosting a second detailed component. The fixed-latency
+// memory controller is swapped for the bank-level DDR model
+// (internal/dram) and the full-system impact is measured per workload
+// — the same in-context-evaluation argument the paper makes for the
+// NoC, applied to main memory.
+func FigureA3(s Scale) []*stats.Table {
+	t := stats.NewTable("A3: memory-controller abstraction under co-simulation",
+		"workload", "fixed-exec", "ddr-exec", "exec-delta-%", "row-hit-%", "dram-avg-lat", "dram-queue")
+	for _, name := range s.Workloads {
+		fixed := s.mustRun(repro.ModeReciprocal, name)
+
+		cfg := repro.DefaultConfig(s.Cores)
+		cfg.Quantum = s.Quantum
+		cfg.System.MemModel = "ddr"
+		wl, err := workload.ByName(name, s.Cores, s.OpsPerCore, s.Seed)
+		if err != nil {
+			panic(err)
+		}
+		cs, err := repro.BuildCosim(cfg, repro.ModeReciprocal, wl)
+		if err != nil {
+			panic(err)
+		}
+		res := cs.Run(s.CycleLimit)
+		dst := cs.Sys.DRAMStats()
+		cs.Net.Close()
+		if !res.Finished {
+			panic("expt: A3 ddr run hit cycle limit")
+		}
+		delta := (float64(res.ExecCycles)/float64(fixed.ExecCycles) - 1) * 100
+		t.AddRow(name, uint64(fixed.ExecCycles), uint64(res.ExecCycles), delta,
+			dst.RowHitRate()*100, dst.AvgLatency, dst.AvgQueueDepth)
+	}
+	return []*stats.Table{t}
+}

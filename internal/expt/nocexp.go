@@ -1,0 +1,209 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/abstractnet"
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/noc/topology"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// FigureF1 produces the classic load-latency curves on an 8x8 mesh for
+// three synthetic patterns, comparing the detailed cycle-level network
+// against the fixed and contention-aware abstract models driven by the
+// identical packet sequence — the first demonstration that the
+// abstract models lose fidelity as load approaches saturation.
+func FigureF1(s Scale) []*stats.Table {
+	const side = 8
+	rates := []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+	patterns := []string{"uniform", "transpose", "hotspot"}
+	warm, measure := 500, 2000
+	if s.OpsPerCore < 500 { // quick scale
+		warm, measure = 200, 600
+	}
+
+	var tables []*stats.Table
+	for _, pname := range patterns {
+		t := stats.NewTable(fmt.Sprintf("F1: load-latency, %s traffic, %dx%d mesh", pname, side, side),
+			"rate", "detailed-lat", "fixed-lat", "contention-lat", "detailed-thpt", "accepted-frac")
+		for _, rate := range rates {
+			det, thpt, offered := detailedOpenLoop(side, pname, rate, warm, measure)
+			fixed := abstractOpenLoop(side, pname, rate, warm, measure, false)
+			cont := abstractOpenLoop(side, pname, rate, warm, measure, true)
+			frac := 1.0
+			if offered > 0 {
+				frac = thpt / offered
+			}
+			t.AddRow(rate, det, fixed, cont, thpt, frac)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// detailedOpenLoop runs the cycle-level network open-loop and returns
+// mean latency, accepted throughput (packets/cycle/terminal), and
+// offered load in the measurement window.
+func detailedOpenLoop(side int, pattern string, rate float64, warm, measure int) (lat, thpt, offered float64) {
+	m := topology.NewMesh(side, side, 1)
+	net, err := noc.New(noc.DefaultConfig(), m, topology.NewXY(m))
+	if err != nil {
+		panic(err)
+	}
+	defer net.Close()
+	pat, err := traffic.ByName(pattern, side*side, side)
+	if err != nil {
+		panic(err)
+	}
+	gen := traffic.Generator{Pattern: pat, Rate: rate, Seed: 11}
+	for i := 0; i < warm; i++ {
+		gen.Tick(net, net.Cycle())
+		net.Step()
+		net.Drain()
+	}
+	net.Tracker().Reset()
+	injStart := net.Injected()
+	delStart := net.Delivered()
+	for i := 0; i < measure; i++ {
+		gen.Tick(net, net.Cycle())
+		net.Step()
+		net.Drain()
+	}
+	terms := float64(side * side)
+	lat = net.Tracker().Mean()
+	thpt = float64(net.Delivered()-delStart) / float64(measure) / terms
+	offered = float64(net.Injected()-injStart) / float64(measure) / terms
+	return lat, thpt, offered
+}
+
+// abstractOpenLoop drives an abstract model with the identical packet
+// sequence and returns its mean latency.
+func abstractOpenLoop(side int, pattern string, rate float64, warm, measure int, contention bool) float64 {
+	m := topology.NewMesh(side, side, 1)
+	params := abstractnet.DefaultParams()
+	var model abstractnet.Model
+	if contention {
+		model = abstractnet.NewContention(m, params)
+	} else {
+		model = abstractnet.NewFixed(m, params)
+	}
+	net := abstractnet.NewNetwork(model)
+	pat, err := traffic.ByName(pattern, side*side, side)
+	if err != nil {
+		panic(err)
+	}
+	gen := traffic.Generator{Pattern: pat, Rate: rate, Seed: 11, Terminals: side * side, VNets: 3}
+	for cyc := 0; cyc < warm+measure; cyc++ {
+		now := sim.Cycle(cyc)
+		gen.Emit(now, func(p *noc.Packet) { net.Inject(p, now) })
+		net.AdvanceTo(now + 1)
+		net.Drain()
+		if cyc == warm {
+			net.Tracker().Reset()
+		}
+	}
+	return net.Tracker().Mean()
+}
+
+// TableT2 explores router design points under full co-simulation and
+// contrasts the full-system ranking with the network-only (synthetic
+// open-loop) ranking — the paper's argument that component design
+// choices must be evaluated in system context.
+func TableT2(s Scale) []*stats.Table {
+	type point struct {
+		name    string
+		vcs     int
+		depth   int
+		routing string
+	}
+	points := []point{
+		{"1vc-2buf-xy", 1, 2, "xy"},
+		{"2vc-4buf-xy", 2, 4, "xy"},
+		{"4vc-8buf-xy", 4, 8, "xy"},
+		{"2vc-4buf-oe", 2, 4, "oddeven"},
+		{"1vc-8buf-xy", 1, 8, "xy"},
+		{"4vc-2buf-xy", 4, 2, "xy"},
+	}
+	t := stats.NewTable("T2: NoC design space — system-level vs network-only view",
+		"config", "exec-cycles", "cosim-lat", "noc-only-lat", "sys-rank", "noc-rank")
+
+	type row struct {
+		name           string
+		exec           sim.Cycle
+		cosimLat, nLat float64
+	}
+	var rows []row
+	for _, p := range points {
+		cfg := repro.DefaultConfig(s.Cores)
+		cfg.Quantum = s.Quantum
+		cfg.Router.VCsPerVNet = p.vcs
+		cfg.Router.BufDepth = p.depth
+		cfg.Routing = p.routing
+		res := runCosimWith(cfg, s, "radix")
+		nLat := nocOnlyLatency(cfg, s)
+		rows = append(rows, row{p.name, res.ExecCycles, res.AvgLatency, nLat})
+	}
+	sysRank := rankBy(rows, func(r row) float64 { return float64(r.exec) })
+	nocRank := rankBy(rows, func(r row) float64 { return r.nLat })
+	for i, r := range rows {
+		t.AddRow(r.name, uint64(r.exec), r.cosimLat, r.nLat, sysRank[i], nocRank[i])
+	}
+	return []*stats.Table{t}
+}
+
+// runCosimWith runs one reciprocal co-simulation with an explicit
+// configuration.
+func runCosimWith(cfg repro.Config, s Scale, wlName string) core.Result {
+	wl, err := workload.ByName(wlName, cfg.Tiles, s.OpsPerCore, s.Seed)
+	if err != nil {
+		panic(err)
+	}
+	cs, err := repro.BuildCosim(cfg, repro.ModeReciprocal, wl)
+	if err != nil {
+		panic(err)
+	}
+	defer cs.Net.Close()
+	res := cs.Run(s.CycleLimit)
+	if !res.Finished {
+		panic("expt: T2 run hit cycle limit")
+	}
+	return res
+}
+
+// nocOnlyLatency evaluates the same router configuration standalone
+// under uniform synthetic traffic at moderate load.
+func nocOnlyLatency(cfg repro.Config, s Scale) float64 {
+	net, err := repro.BuildNoC(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer net.Close()
+	gen := traffic.Generator{Pattern: traffic.Uniform{}, Rate: 0.12, Seed: 11}
+	warm, measure := 300, 1200
+	if s.OpsPerCore < 500 {
+		warm, measure = 150, 500
+	}
+	tr := gen.RunOpenLoop(net, warm, measure, 20000)
+	return tr.Mean()
+}
+
+// rankBy assigns 1-based ranks (smaller metric = better = rank 1).
+func rankBy[T any](rows []T, metric func(T) float64) []int {
+	ranks := make([]int, len(rows))
+	for i := range rows {
+		rank := 1
+		for j := range rows {
+			if metric(rows[j]) < metric(rows[i]) {
+				rank++
+			}
+		}
+		ranks[i] = rank
+	}
+	return ranks
+}

@@ -1,0 +1,174 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/noc"
+	"repro/internal/noc/engine"
+	"repro/internal/noc/topology"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// FigureF6 sweeps the synchronization quantum on one transpose-heavy
+// workload: accuracy degrades gracefully while host time drops.
+func FigureF6(s Scale) []*stats.Table {
+	const wlName = "fft"
+	truth := s.mustRun(repro.ModeSynchronous, wlName)
+	t := stats.NewTable("F6: quantum sweep ("+wlName+")",
+		"quantum", "exec-cycles", "exec-err-%", "lat-err-%", "avg-skew", "max-skew", "wall-ms")
+	for _, q := range []int{1, 16, 64, 256, 1024} {
+		sq := s
+		sq.Quantum = q
+		res := sq.mustRun(repro.ModeReciprocal, wlName)
+		t.AddRow(q, uint64(res.ExecCycles),
+			stats.AbsPctErr(float64(res.ExecCycles), float64(truth.ExecCycles)),
+			stats.AbsPctErr(res.AvgLatency, truth.AvgLatency),
+			res.AvgSkew, uint64(res.MaxSkew),
+			wallMS(res.SysWall+res.NetWall))
+	}
+	return []*stats.Table{t}
+}
+
+// FigureF7 is claim C3: total reciprocal co-simulation time with the
+// NoC executed on the CPU (measured host time) vs offloaded to the
+// GPU coprocessor (measured system time + modelled device time — no
+// CUDA hardware is available to this reproduction, see DESIGN.md).
+// The paper reports a 16% reduction at 256 cores and 65% at 512; the
+// mechanism is that per-cycle device cost is nearly constant below one
+// occupancy wave while the CPU's NoC cost grows linearly with routers.
+func FigureF7(s Scale) []*stats.Table {
+	t := stats.NewTable("F7: co-simulation time, CPU vs CPU+GPU (device modelled)",
+		"cores", "cpu-total-ms", "cpu-noc-ms", "gpu-total-ms", "device-ms", "reduction-%", "noc-reduction-%")
+	for _, size := range s.SpeedSizes {
+		sz := s
+		sz.Cores = size
+		sz.OpsPerCore = s.SpeedOps
+		// Use a network-heavy kernel so the NoC is a meaningful share
+		// of total time, as in the paper's co-simulation runs.
+		cpuRes := sz.mustRun(repro.ModeReciprocal, "radix")
+		gpuRes, dev := sz.runGPU("radix")
+		cpu := cpuRes.SysWall + cpuRes.NetWall
+		gpuTotal := gpuRes.SysWall + dev
+		t.AddRow(size, wallMS(cpu), wallMS(cpuRes.NetWall), wallMS(gpuTotal), wallMS(dev),
+			stats.ErrorReduction(float64(cpu), float64(gpuTotal)),
+			stats.ErrorReduction(float64(cpuRes.NetWall), float64(dev)))
+	}
+	return []*stats.Table{t}
+}
+
+// runGPU runs one GPU-offloaded co-simulation and returns the result
+// plus the modelled device time.
+func (s Scale) runGPU(wlName string) (core.Result, time.Duration) {
+	cfg := repro.DefaultConfig(s.Cores)
+	cfg.Quantum = s.Quantum
+	cfg.Workers = s.Workers
+	backend, err := repro.BuildBackend(cfg, repro.ModeReciprocalGPU)
+	if err != nil {
+		panic(err)
+	}
+	wl, err := workload.ByName(wlName, s.Cores, s.OpsPerCore, s.Seed)
+	if err != nil {
+		panic(err)
+	}
+	cs, err := core.Build(cfg.System, wl, backend, cfg.Quantum)
+	if err != nil {
+		panic(err)
+	}
+	res := cs.Run(s.CycleLimit)
+	dev := backend.(*gpu.Backend).ModeledTotal()
+	backend.Close()
+	if !res.Finished {
+		panic("expt: GPU run hit cycle limit")
+	}
+	return res, dev
+}
+
+// FigureF8 reports the modelled coprocessor time breakdown per target
+// size: kernel launches dominate small networks; compute and transfers
+// grow with size, so per-cycle offload cost amortizes.
+func FigureF8(s Scale) []*stats.Table {
+	var tables []*stats.Table
+	sum := stats.NewTable("F8: modelled GPU offload cost by target size",
+		"cores", "quanta", "kernels", "launch-ms", "compute-ms", "transfer-ms", "total-ms", "ns-per-cycle", "waves")
+	for _, size := range s.SpeedSizes {
+		sz := s
+		sz.Cores = size
+		sz.OpsPerCore = s.SpeedOps
+		cfg := repro.DefaultConfig(size)
+		cfg.Quantum = sz.Quantum
+		cfg.Workers = sz.Workers
+		backend, err := repro.BuildBackend(cfg, repro.ModeReciprocalGPU)
+		if err != nil {
+			panic(err)
+		}
+		wl, err := workload.ByName("radix", size, sz.OpsPerCore, sz.Seed)
+		if err != nil {
+			panic(err)
+		}
+		cs, err := core.Build(cfg.System, wl, backend, cfg.Quantum)
+		if err != nil {
+			panic(err)
+		}
+		res := cs.Run(sz.CycleLimit)
+		gb := backend.(*gpu.Backend)
+		st := gb.DeviceStats()
+		waves := gb.Device().Waves(size)
+		sum.AddRow(size, st.Quanta, st.Kernels,
+			st.LaunchNs/1e6, st.ComputeNs/1e6, st.TransferNs/1e6, st.TotalNs()/1e6,
+			gb.NsPerCycle(), waves)
+		backend.Close()
+		if !res.Finished {
+			panic("expt: F8 run hit cycle limit")
+		}
+	}
+	tables = append(tables, sum)
+	return tables
+}
+
+// FigureA2 measures the parallel engine's standalone scaling on
+// synthetic traffic: the mechanism behind the GPU path's speedup.
+func FigureA2(s Scale) []*stats.Table {
+	t := stats.NewTable("A2: parallel NoC engine scaling (synthetic uniform, 1000 cycles)",
+		"mesh", "workers", "wall-ms", "speedup")
+	for _, side := range []int{16, 32} {
+		var base time.Duration
+		for _, workers := range []int{1, 2, 4, 8} {
+			d := timeNoCRun(side, workers, 1000)
+			if workers == 1 {
+				base = d
+			}
+			sp := 0.0
+			if d > 0 {
+				sp = float64(base) / float64(d)
+			}
+			t.AddRow(fmt.Sprintf("%dx%d", side, side), workers, wallMS(d), sp)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// timeNoCRun measures one open-loop synthetic run on a side×side mesh
+// under the given engine width.
+func timeNoCRun(side, workers, cycles int) time.Duration {
+	m := topology.NewMesh(side, side, 1)
+	net, err := noc.New(noc.DefaultConfig(), m, topology.NewXY(m),
+		noc.WithEngine(engine.NewParallel(workers)))
+	if err != nil {
+		panic(err)
+	}
+	defer net.Close()
+	gen := traffic.Generator{Pattern: traffic.Uniform{}, Rate: 0.05, Seed: 7}
+	start := time.Now()
+	for i := 0; i < cycles; i++ {
+		gen.Tick(net, net.Cycle())
+		net.Step()
+		net.Drain()
+	}
+	return time.Since(start)
+}

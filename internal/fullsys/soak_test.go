@@ -1,0 +1,139 @@
+package fullsys
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// randomWorkload generates a random mix of ops over a small line pool
+// (maximizing conflicts) and verifies two end-to-end properties as it
+// runs: private-region stores always read back exactly, and a shared
+// atomic counter totals correctly at the end.
+type randomWorkload struct {
+	cores    int
+	opsLeft  []int
+	rngs     []*sim.RNG
+	private  []map[uint64]uint64 // expected token per private line
+	lastLoad []uint64
+	errs     []string
+	incs     []uint64 // atomic increments issued per core
+	loaded   []bool
+}
+
+const (
+	sharedLines  = 8
+	counterLine  = 1000
+	privateBase  = 2000
+	privateLines = 16
+)
+
+func newRandomWorkload(cores, opsPerCore int, seed uint64) *randomWorkload {
+	w := &randomWorkload{
+		cores:    cores,
+		opsLeft:  make([]int, cores),
+		rngs:     make([]*sim.RNG, cores),
+		private:  make([]map[uint64]uint64, cores),
+		lastLoad: make([]uint64, cores),
+		incs:     make([]uint64, cores),
+		loaded:   make([]bool, cores),
+	}
+	for c := 0; c < cores; c++ {
+		w.opsLeft[c] = opsPerCore
+		w.rngs[c] = sim.NewRNG(seed, uint64(c)+100)
+		w.private[c] = make(map[uint64]uint64)
+	}
+	return w
+}
+
+func (w *randomWorkload) privateLine(core int, i uint64) uint64 {
+	return privateBase + uint64(core)*privateLines + i%privateLines
+}
+
+func (w *randomWorkload) Next(core int) Op {
+	// End-of-stream sequence: barrier, counter readback, halt.
+	switch w.opsLeft[core] {
+	case 0:
+		w.opsLeft[core] = -1
+		return Op{Kind: OpBarrier, Arg: 999}
+	case -1:
+		w.opsLeft[core] = -2
+		return Op{Kind: OpLoad, Addr: addr(counterLine)}
+	case -2:
+		return Op{Kind: OpHalt}
+	}
+	w.opsLeft[core]--
+	rng := w.rngs[core]
+	switch rng.Intn(10) {
+	case 0, 1:
+		return Op{Kind: OpCompute, Arg: uint64(1 + rng.Intn(8))}
+	case 2, 3:
+		// Shared-pool load: value unpredictable, just exercise paths.
+		return Op{Kind: OpLoad, Addr: addr(uint64(rng.Intn(sharedLines)))}
+	case 4:
+		// Shared-pool store.
+		return Op{Kind: OpStore, Addr: addr(uint64(rng.Intn(sharedLines))), Arg: rng.Uint64()}
+	case 5:
+		w.incs[core]++
+		return Op{Kind: OpAtomic, Addr: addr(counterLine), Arg: 1}
+	case 6, 7:
+		// Private store: remembered for verification.
+		line := w.privateLine(core, uint64(rng.Intn(privateLines)))
+		val := rng.Uint64()
+		w.private[core][line] = val
+		return Op{Kind: OpStore, Addr: addr(line), Arg: val}
+	default:
+		// Private load: verified in Observe if previously stored.
+		line := w.privateLine(core, uint64(rng.Intn(privateLines)))
+		w.loaded[core] = true
+		return Op{Kind: OpLoad, Addr: addr(line)}
+	}
+}
+
+func (w *randomWorkload) Observe(core int, a, value uint64) {
+	line := LineOf(a)
+	w.lastLoad[core] = value
+	if line >= privateBase {
+		owner := int(line-privateBase) / privateLines
+		if owner != core {
+			w.errs = append(w.errs, "core loaded another core's private line")
+			return
+		}
+		if want, ok := w.private[core][line]; ok && value != want {
+			w.errs = append(w.errs, "private line readback mismatch")
+		}
+	}
+}
+
+func TestRandomSoak(t *testing.T) {
+	seeds := []uint64{1, 7, 1234}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		for _, cores := range []int{2, 8} {
+			wl := newRandomWorkload(cores, 300, seed)
+			cfg := DefaultConfig(cores)
+			cfg.L1Sets = 4
+			cfg.L1Ways = 2 // small L1 to force evictions under conflict
+			sys := runSystem(t, cfg, wl, 3_000_000)
+			if len(wl.errs) > 0 {
+				t.Fatalf("seed %d cores %d: %d data errors, first: %s",
+					seed, cores, len(wl.errs), wl.errs[0])
+			}
+			var want uint64
+			for _, n := range wl.incs {
+				want += n
+			}
+			for c := 0; c < cores; c++ {
+				if wl.lastLoad[c] != want {
+					t.Fatalf("seed %d cores %d: core %d sees counter %d, want %d",
+						seed, cores, c, wl.lastLoad[c], want)
+				}
+			}
+			if err := sys.CheckCoherence(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package fullsys
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Sender carries a message into the (possibly abstracted) network at
+// the given cycle. The co-simulation layer supplies it.
+type Sender func(m Msg, at sim.Cycle)
+
+// System is the coarse-grain full-system simulator: a set of tiles
+// plus the barrier coordinator and the message plumbing between tiles
+// and the network. Tick must be called for every target cycle in
+// order; Deliver hands network deliveries back.
+type System struct {
+	cfg  Config
+	wl   Workload
+	send Sender
+
+	tiles   []*Tile
+	events  sim.EventQueue
+	now     sim.Cycle
+	barrier map[uint64]int
+	mcList  []int
+	mcIndex map[int]bool
+
+	msgsSent   uint64
+	flitsSent  uint64
+	localMsgs  uint64
+	msgsByType [numMsgTypes]uint64
+	haltedCnt  int
+	doneCycle  sim.Cycle
+}
+
+// New constructs a system over the given workload. send receives every
+// tile-to-tile message that must traverse the network (same-tile
+// messages are short-circuited internally with Config.LocalLat).
+func New(cfg Config, wl Workload, send Sender) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:     cfg,
+		wl:      wl,
+		send:    send,
+		barrier: make(map[uint64]int),
+		mcList:  cfg.controllers(),
+		mcIndex: make(map[int]bool),
+	}
+	s.tiles = make([]*Tile, cfg.Tiles)
+	for i := range s.tiles {
+		s.tiles[i] = newTile(i, s)
+	}
+	for _, mc := range s.mcList {
+		s.tiles[mc].mem = make(map[uint64]uint64)
+		s.mcIndex[mc] = true
+		if cfg.MemModel == "ddr" {
+			ctl, err := dram.NewController(cfg.DRAM)
+			if err != nil {
+				return nil, err
+			}
+			s.tiles[mc].dramCtl = ctl
+		}
+	}
+	return s, nil
+}
+
+// Cfg reports the system configuration.
+func (s *System) Cfg() Config { return s.cfg }
+
+// Tile exposes a tile for inspection (tests, invariant checkers).
+func (s *System) Tile(i int) *Tile { return s.tiles[i] }
+
+// mcOf maps a line to its memory controller tile.
+func (s *System) mcOf(line uint64) int {
+	return s.mcList[int(line%uint64(len(s.mcList)))]
+}
+
+// Tick advances the system by one cycle. The cycle argument must
+// increase by exactly one per call.
+func (s *System) Tick(now sim.Cycle) {
+	if now < s.now {
+		panic(fmt.Sprintf("fullsys: Tick(%v) after %v", now, s.now))
+	}
+	s.now = now
+	s.events.RunUntil(now)
+	for _, mc := range s.mcList {
+		if ctl := s.tiles[mc].dramCtl; ctl != nil {
+			ctl.Tick(now)
+		}
+	}
+	for _, t := range s.tiles {
+		t.tick(now)
+	}
+}
+
+// Deliver hands a network-delivered message to its destination tile.
+// Call between Ticks, after the network has simulated the delivery
+// cycle.
+func (s *System) Deliver(m Msg, at sim.Cycle) {
+	if at < s.now {
+		at = s.now
+	}
+	s.dispatch(at, m)
+}
+
+// dispatch routes a message to the right functional unit of its
+// destination tile.
+func (s *System) dispatch(now sim.Cycle, m Msg) {
+	t := s.tiles[m.Dst]
+	switch m.Type {
+	case GetS, GetM, PutM, PutE, DataWB, InvAck, FwdAck, MemData, MemWAck:
+		t.handleHome(now, m)
+	case MemRead, MemWrite:
+		t.handleMC(now, m)
+	case BarArrive:
+		s.barrierArrive(now, m)
+	default:
+		t.handleL1(now, m)
+	}
+}
+
+// barrierArrive counts arrivals and releases everyone when the last
+// core arrives.
+func (s *System) barrierArrive(now sim.Cycle, m Msg) {
+	id := m.Value
+	s.barrier[id]++
+	if s.barrier[id] < s.cfg.Tiles {
+		return
+	}
+	delete(s.barrier, id)
+	for t := 0; t < s.cfg.Tiles; t++ {
+		s.sendAfter(now, 0, Msg{Type: BarRelease, Src: s.cfg.BarrierTile, Dst: t, Value: id})
+	}
+}
+
+// sendAfter emits a message after a service delay. Same-tile messages
+// short-circuit the network with the local-bank latency.
+func (s *System) sendAfter(now sim.Cycle, delay int, m Msg) {
+	if m.Src == m.Dst {
+		s.localMsgs++
+		at := now + sim.Cycle(delay+s.cfg.LocalLat)
+		s.events.Schedule(at, func() { s.dispatch(at, m) })
+		return
+	}
+	s.msgsSent++
+	s.flitsSent += uint64(m.Flits())
+	s.msgsByType[m.Type]++
+	if delay == 0 {
+		s.send(m, now)
+		return
+	}
+	at := now + sim.Cycle(delay)
+	s.events.Schedule(at, func() { s.send(m, at) })
+}
+
+// Done reports whether every core has halted.
+func (s *System) Done() bool {
+	for _, t := range s.tiles {
+		if !t.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// FinishCycle reports the cycle at which the last core halted (valid
+// once Done).
+func (s *System) FinishCycle() sim.Cycle {
+	var last sim.Cycle
+	for _, t := range s.tiles {
+		if t.stats.HaltedAt > last {
+			last = t.stats.HaltedAt
+		}
+	}
+	return last
+}
+
+// Retired reports total retired operations across cores.
+func (s *System) Retired() uint64 {
+	var n uint64
+	for _, t := range s.tiles {
+		n += t.stats.Retired
+	}
+	return n
+}
+
+// MsgsSent reports network messages emitted (excluding same-tile).
+func (s *System) MsgsSent() uint64 { return s.msgsSent }
+
+// FlitsSent reports network flits emitted.
+func (s *System) FlitsSent() uint64 { return s.flitsSent }
+
+// LocalMsgs reports messages short-circuited to the local bank.
+func (s *System) LocalMsgs() uint64 { return s.localMsgs }
+
+// DRAMStats aggregates detailed memory-controller statistics; the
+// zero value is returned under the fixed model.
+func (s *System) DRAMStats() dram.Stats {
+	var agg dram.Stats
+	n := 0
+	var latSum, qSum float64
+	for _, mc := range s.mcList {
+		ctl := s.tiles[mc].dramCtl
+		if ctl == nil {
+			continue
+		}
+		st := ctl.Snapshot()
+		agg.Reads += st.Reads
+		agg.Writes += st.Writes
+		agg.RowHits += st.RowHits
+		agg.RowMisses += st.RowMisses
+		agg.RowConflicts += st.RowConflicts
+		latSum += st.AvgLatency
+		qSum += st.AvgQueueDepth
+		n++
+	}
+	if n > 0 {
+		agg.AvgLatency = latSum / float64(n)
+		agg.AvgQueueDepth = qSum / float64(n)
+	}
+	return agg
+}
+
+// MsgsByType reports network messages sent per protocol message type.
+func (s *System) MsgsByType() map[MsgType]uint64 {
+	out := make(map[MsgType]uint64)
+	for t, c := range s.msgsByType {
+		if c > 0 {
+			out[MsgType(t)] = c
+		}
+	}
+	return out
+}
+
+// L1Stats aggregates L1 hits and misses across tiles.
+func (s *System) L1Stats() (hits, misses uint64) {
+	for _, t := range s.tiles {
+		hits += t.l1.hits
+		misses += t.l1.misses
+	}
+	return hits, misses
+}
+
+// CheckCoherence verifies the single-writer/multiple-reader invariant
+// across all L1s and the directory's consistency with them. Tests call
+// it between cycles; it reports the first violation found.
+func (s *System) CheckCoherence() error {
+	type holder struct {
+		tile  int
+		state uint8
+	}
+	lines := make(map[uint64][]holder)
+	for _, t := range s.tiles {
+		for _, set := range t.l1.sets {
+			for i := range set {
+				w := &set[i]
+				if w.state != l1Invalid {
+					lines[w.line] = append(lines[w.line], holder{t.id, w.state})
+				}
+			}
+		}
+	}
+	for line, hs := range lines {
+		writers := 0
+		for _, h := range hs {
+			if h.state >= l1Exclusive {
+				writers++
+			}
+		}
+		if writers > 1 || (writers == 1 && len(hs) > 1) {
+			return fmt.Errorf("fullsys: SWMR violated for line %#x: %d holders, %d exclusive",
+				line, len(hs), writers)
+		}
+	}
+	return nil
+}
+
+// StatsTable summarizes system-level execution statistics.
+func (s *System) StatsTable(title string) *stats.Table {
+	t := stats.NewTable(title,
+		"metric", "value")
+	var retired, loads, stores, atomics, loadStall, barStall, sbStall, compute uint64
+	var prefIss, prefUse uint64
+	for _, tile := range s.tiles {
+		st := tile.stats
+		retired += st.Retired
+		loads += st.Loads
+		stores += st.Stores
+		atomics += st.Atomics
+		loadStall += st.LoadStall
+		barStall += st.BarStall
+		sbStall += st.SBStall
+		compute += st.Compute
+		prefIss += st.PrefIssued
+		prefUse += st.PrefUseful
+	}
+	hits, misses := s.L1Stats()
+	t.AddRow("retired ops", retired)
+	t.AddRow("loads / stores / atomics", fmt.Sprintf("%d / %d / %d", loads, stores, atomics))
+	if hits+misses > 0 {
+		t.AddRow("L1 miss rate %", float64(misses)/float64(hits+misses)*100)
+	}
+	t.AddRow("cycles: compute / load-stall / barrier / sb-stall",
+		fmt.Sprintf("%d / %d / %d / %d", compute, loadStall, barStall, sbStall))
+	t.AddRow("network messages (flits)", fmt.Sprintf("%d (%d)", s.msgsSent, s.flitsSent))
+	var reqs, resps, fwds uint64
+	for typ, c := range s.MsgsByType() {
+		switch typ.VNet() {
+		case 0:
+			reqs += c
+		case 1:
+			resps += c
+		default:
+			fwds += c
+		}
+	}
+	t.AddRow("messages req / resp / fwd", fmt.Sprintf("%d / %d / %d", reqs, resps, fwds))
+	t.AddRow("local-bank messages", s.localMsgs)
+	if prefIss > 0 {
+		t.AddRow("prefetches issued (useful)", fmt.Sprintf("%d (%d)", prefIss, prefUse))
+	}
+	if d := s.DRAMStats(); d.Reads+d.Writes > 0 {
+		t.AddRow("dram reads/writes, row-hit %",
+			fmt.Sprintf("%d/%d, %.1f%%", d.Reads, d.Writes, d.RowHitRate()*100))
+	}
+	return t
+}

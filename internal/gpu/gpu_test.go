@@ -1,0 +1,111 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/noc/topology"
+)
+
+func backendOver(t *testing.T, side int) *Backend {
+	t.Helper()
+	m := topology.NewMesh(side, side, 1)
+	net, err := noc.New(noc.DefaultConfig(), m, topology.NewXY(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	return NewBackend(net, DefaultDevice())
+}
+
+func TestWaves(t *testing.T) {
+	d := DefaultDevice()
+	lanes := d.SMs * d.LanesPerSM
+	if d.Waves(1) != 1 || d.Waves(lanes) != 1 || d.Waves(lanes+1) != 2 {
+		t.Errorf("wave arithmetic wrong around %d lanes", lanes)
+	}
+	zero := Device{}
+	if zero.Waves(7) != 7 {
+		t.Error("degenerate device should serialize")
+	}
+}
+
+func TestAdvanceAccountsKernels(t *testing.T) {
+	b := backendOver(t, 4)
+	b.Inject(&noc.Packet{Src: 0, Dst: 15, VNet: 0, Size: 5}, 0)
+	b.AdvanceTo(64)
+	st := b.DeviceStats()
+	if st.Quanta != 1 {
+		t.Errorf("quanta = %d", st.Quanta)
+	}
+	if want := uint64(64 * b.Device().Phases); st.Kernels != want {
+		t.Errorf("kernels = %d, want %d", st.Kernels, want)
+	}
+	if st.LaunchNs != float64(st.Kernels)*b.Device().KernelLaunchNs {
+		t.Error("launch accounting wrong")
+	}
+	if st.BytesToDevice != uint64(b.Device().PacketBytes) {
+		t.Errorf("to-device bytes = %d", st.BytesToDevice)
+	}
+	// Idempotent advance: no extra kernels.
+	b.AdvanceTo(64)
+	if b.DeviceStats().Kernels != st.Kernels {
+		t.Error("advancing to the same cycle accrued kernels")
+	}
+}
+
+func TestDrainAccountsReturnTransfer(t *testing.T) {
+	b := backendOver(t, 4)
+	b.Inject(&noc.Packet{Src: 0, Dst: 15, VNet: 0, Size: 1}, 0)
+	b.AdvanceTo(100)
+	got := b.Drain()
+	if len(got) != 1 {
+		t.Fatalf("drained %d", len(got))
+	}
+	st := b.DeviceStats()
+	if st.BytesFromDevice != uint64(b.Device().PacketBytes) {
+		t.Errorf("from-device bytes = %d", st.BytesFromDevice)
+	}
+	if st.TransferNs <= 0 {
+		t.Error("transfer time not accounted")
+	}
+	if b.Tracker().Count() != 1 {
+		t.Error("latency stats missing")
+	}
+}
+
+func TestNsPerCycleNearlyConstantBelowOneWave(t *testing.T) {
+	small := backendOver(t, 4)  // 16 routers
+	large := backendOver(t, 16) // 256 routers, still one wave
+	small.AdvanceTo(128)
+	large.AdvanceTo(128)
+	a, b := small.NsPerCycle(), large.NsPerCycle()
+	if math.IsNaN(a) || math.IsNaN(b) {
+		t.Fatal("NaN per-cycle cost")
+	}
+	if math.Abs(a-b)/a > 0.05 {
+		t.Errorf("per-cycle device cost should be nearly size-independent below one wave: %v vs %v", a, b)
+	}
+}
+
+func TestBreakdownTableSums(t *testing.T) {
+	b := backendOver(t, 4)
+	b.Inject(&noc.Packet{Src: 0, Dst: 15, VNet: 0, Size: 1}, 0)
+	b.AdvanceTo(50)
+	b.Drain()
+	tb := b.BreakdownTable("test")
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[3][0] != "total" {
+		t.Error("missing total row")
+	}
+}
+
+func TestEmptyBackendNsPerCycleIsNaN(t *testing.T) {
+	b := backendOver(t, 4)
+	if !math.IsNaN(b.NsPerCycle()) {
+		t.Error("expected NaN before any advance")
+	}
+}

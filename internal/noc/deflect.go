@@ -1,0 +1,468 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/noc/engine"
+	"repro/internal/noc/topology"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Deflection is a bufferless, deflection-routed network (BLESS/CHIPPER
+// class): routers hold no flit buffers; every flit that arrives in a
+// cycle must leave the same cycle, on its preferred productive output
+// if free, on any other output otherwise (a deflection). Flits of a
+// packet route independently and reassemble at the destination NI.
+// Oldest-first arbitration makes the network livelock-free: the oldest
+// flit in flight always wins its productive port, so it strictly
+// approaches its destination.
+//
+// Deflection routers trade buffer area and energy for extra link
+// traversals under load, which is exactly the kind of design choice
+// the co-simulation framework exists to evaluate in system context.
+type Deflection struct {
+	cfg     DeflectConfig
+	topo    gridTopo
+	eng     engine.Engine
+	ownEng  bool
+	routers []deflRouter
+	ifaces  []deflIface
+
+	cycle     sim.Cycle
+	tracker   *stats.LatencyTracker
+	injected  uint64
+	delivered uint64
+	nextID    uint64
+	drainBuf  []*Packet
+}
+
+// DeflectConfig parameterizes the bufferless network.
+type DeflectConfig struct {
+	// EjectWidth is the flits per cycle the NI can sink; excess flits
+	// at their destination deflect and retry.
+	EjectWidth int
+	// InjectQueueCap bounds the per-terminal source queue in flits
+	// (0 = unbounded).
+	InjectQueueCap int
+}
+
+// DefaultDeflectConfig returns the standard single-ejector router.
+func DefaultDeflectConfig() DeflectConfig {
+	return DeflectConfig{EjectWidth: 1}
+}
+
+// gridTopo is the mesh access the deflection router needs for
+// productive-direction computation.
+type gridTopo interface {
+	topology.Topology
+	Coord(router int) (x, y int)
+	Width() int
+	Height() int
+	Wrap() bool
+}
+
+// deflFlit is one independently-routed flit.
+type deflFlit struct {
+	pkt *Packet
+	seq int32
+	age sim.Cycle // injection cycle: smaller = older = higher priority
+}
+
+// deflRouter holds the per-router link-slot state: in[dir] is the flit
+// arriving this cycle (written by the upstream neighbour last cycle
+// via double buffering).
+type deflRouter struct {
+	in   [4]deflFlit // current-cycle arrivals, indexed by direction
+	next [4]deflFlit // next-cycle arrivals (staged by neighbours)
+
+	scratch []deflFlit // assignment working set
+
+	// Per-router counters (aggregated on demand) so the parallel
+	// engine never contends on shared state.
+	deflects uint64
+	flitHops uint64
+}
+
+// deflIface is the terminal-side state: source flit queue and
+// reassembly counters.
+type deflIface struct {
+	queue      []deflFlit
+	qHead      int
+	reassembly map[*Packet]int32
+	deliveries []*Packet
+	dHead      int
+}
+
+// NewDeflection builds a bufferless network over a mesh or torus.
+func NewDeflection(cfg DeflectConfig, topo topology.Topology, opts ...DeflectOption) (*Deflection, error) {
+	g, ok := topo.(gridTopo)
+	if !ok {
+		return nil, fmt.Errorf("noc: deflection routing requires a grid topology, got %s", topo.Name())
+	}
+	if topo.LocalPorts() != 1 {
+		return nil, fmt.Errorf("noc: deflection routing supports concentration 1, got %d", topo.LocalPorts())
+	}
+	if cfg.EjectWidth < 1 {
+		return nil, fmt.Errorf("noc: eject width must be >= 1, got %d", cfg.EjectWidth)
+	}
+	n := &Deflection{
+		cfg:     cfg,
+		topo:    g,
+		eng:     engine.Sequential{},
+		routers: make([]deflRouter, topo.NumRouters()),
+		ifaces:  make([]deflIface, topo.NumTerminals()),
+		tracker: stats.NewLatencyTracker(4, 512),
+	}
+	for i := range n.ifaces {
+		n.ifaces[i].reassembly = make(map[*Packet]int32)
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n, nil
+}
+
+// DeflectOption configures a Deflection network.
+type DeflectOption func(*Deflection)
+
+// WithDeflectEngine selects the execution engine; the network takes
+// ownership.
+func WithDeflectEngine(e engine.Engine) DeflectOption {
+	return func(n *Deflection) {
+		n.eng = e
+		n.ownEng = true
+	}
+}
+
+// Inject queues a packet's flits at the source terminal.
+func (n *Deflection) Inject(p *Packet, at sim.Cycle) {
+	if p.Size < 1 {
+		panic(fmt.Sprintf("noc: packet with size %d", p.Size))
+	}
+	if p.Src < 0 || p.Src >= len(n.ifaces) || p.Dst < 0 || p.Dst >= len(n.ifaces) {
+		panic(fmt.Sprintf("noc: packet endpoints %d->%d out of range", p.Src, p.Dst))
+	}
+	ni := &n.ifaces[p.Src]
+	if n.cfg.InjectQueueCap > 0 && len(ni.queue)-ni.qHead+p.Size > n.cfg.InjectQueueCap {
+		panic("noc: deflection inject queue overflow")
+	}
+	p.ID = n.nextID
+	n.nextID++
+	p.CreatedAt = at
+	for s := int32(0); s < int32(p.Size); s++ {
+		ni.queue = append(ni.queue, deflFlit{pkt: p, seq: s})
+	}
+	n.injected++
+}
+
+// Cycle reports the next cycle to simulate.
+func (n *Deflection) Cycle() sim.Cycle { return n.cycle }
+
+// Step simulates one cycle. The per-router pass reads only the
+// router's own arrival slots and writes only its neighbours' staging
+// slots plus terminal-local state, so the engine may parallelize it;
+// the swap pass promotes staged flits.
+func (n *Deflection) Step() {
+	R := len(n.routers)
+	n.eng.Run(R, n.stepRouter)
+	n.eng.Run(R, n.swapRouter)
+	n.cycle++
+}
+
+// Run simulates the given number of cycles.
+func (n *Deflection) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// productiveDirs appends the directions that reduce distance to dst.
+func (n *Deflection) productiveDirs(router, dst int, buf []int) []int {
+	dr, _ := n.topo.RouterOf(dst)
+	cx, cy := n.topo.Coord(router)
+	dx, dy := n.topo.Coord(dr)
+	w, h := n.topo.Width(), n.topo.Height()
+	if step := deflStep(cx, dx, w, n.topo.Wrap()); step > 0 {
+		buf = append(buf, topology.East)
+	} else if step < 0 {
+		buf = append(buf, topology.West)
+	}
+	if step := deflStep(cy, dy, h, n.topo.Wrap()); step > 0 {
+		buf = append(buf, topology.South)
+	} else if step < 0 {
+		buf = append(buf, topology.North)
+	}
+	return buf
+}
+
+func deflStep(cur, dst, size int, wrap bool) int {
+	if cur == dst {
+		return 0
+	}
+	if !wrap {
+		if dst > cur {
+			return 1
+		}
+		return -1
+	}
+	fwd := (dst - cur + size) % size
+	if fwd <= size-fwd {
+		return 1
+	}
+	return -1
+}
+
+// stepRouter performs one router's cycle: eject, inject, and assign
+// every remaining flit an output (deflecting as needed).
+func (n *Deflection) stepRouter(r int) {
+	rt := &n.routers[r]
+	now := n.cycle
+	term := n.topo.TerminalAt(r, 0)
+	ni := &n.ifaces[term]
+
+	flits := rt.scratch[:0]
+	for d := 0; d < 4; d++ {
+		if rt.in[d].pkt != nil {
+			flits = append(flits, rt.in[d])
+			rt.in[d] = deflFlit{}
+		}
+	}
+
+	// Eject up to EjectWidth flits destined here, oldest first.
+	sortFlits(flits)
+	ejected := 0
+	kept := flits[:0]
+	for _, f := range flits {
+		fdr, _ := n.topo.RouterOf(f.pkt.Dst)
+		if fdr == r && ejected < n.cfg.EjectWidth {
+			n.eject(ni, f, now)
+			ejected++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	flits = kept
+
+	// Inject at most one flit per cycle (the NI's bandwidth), and only
+	// when a free output exists for it (#links - len(flits) > 0).
+	links := n.linkCount(r)
+	if len(flits) < links && ni.qHead < len(ni.queue) && ni.queue[ni.qHead].pkt.CreatedAt <= now {
+		f := ni.queue[ni.qHead]
+		ni.queue[ni.qHead] = deflFlit{}
+		ni.qHead++
+		if ni.qHead == len(ni.queue) {
+			ni.queue = ni.queue[:0]
+			ni.qHead = 0
+		}
+		f.age = now
+		if f.seq == 0 {
+			f.pkt.InjectedAt = now
+		}
+		// Same-router destination: eject immediately if width remains.
+		fdr, _ := n.topo.RouterOf(f.pkt.Dst)
+		if fdr == r && ejected < n.cfg.EjectWidth {
+			n.eject(ni, f, now)
+			ejected++
+		} else {
+			flits = append(flits, f)
+		}
+	}
+	rt.scratch = flits[:0] // retain capacity
+
+	if len(flits) == 0 {
+		return
+	}
+	// Oldest-first port assignment.
+	sortFlits(flits)
+	var taken [4]bool
+	var dirBuf [2]int
+	for _, f := range flits {
+		assigned := -1
+		for _, d := range n.productiveDirs(r, f.pkt.Dst, dirBuf[:0]) {
+			if n.hasLink(r, d) && !taken[d] {
+				assigned = d
+				break
+			}
+		}
+		if assigned < 0 {
+			for d := 0; d < 4; d++ {
+				if n.hasLink(r, d) && !taken[d] {
+					assigned = d
+					rt.deflects++
+					break
+				}
+			}
+		}
+		if assigned < 0 {
+			panic(fmt.Sprintf("noc: deflection router %d cannot place flit (flits=%d links=%d)",
+				r, len(flits), n.linkCount(r)))
+		}
+		taken[assigned] = true
+		nb, _, _ := n.topo.Link(r, 1+assigned)
+		n.sendTo(nb, assigned, f)
+		rt.flitHops++
+	}
+}
+
+// sendTo stages a flit into the receiving router's next-cycle slot for
+// the arrival direction (the opposite of the travel direction).
+func (n *Deflection) sendTo(nb, travelDir int, f deflFlit) {
+	arriveDir := oppositeDir(travelDir)
+	slot := &n.routers[nb].next[arriveDir]
+	if slot.pkt != nil {
+		panic("noc: deflection staging collision")
+	}
+	*slot = f
+}
+
+func oppositeDir(d int) int {
+	switch d {
+	case topology.East:
+		return topology.West
+	case topology.West:
+		return topology.East
+	case topology.North:
+		return topology.South
+	default:
+		return topology.North
+	}
+}
+
+// swapRouter promotes staged arrivals for the next cycle.
+func (n *Deflection) swapRouter(r int) {
+	rt := &n.routers[r]
+	rt.in, rt.next = rt.next, [4]deflFlit{}
+}
+
+func (n *Deflection) hasLink(r, dir int) bool {
+	_, _, ok := n.topo.Link(r, 1+dir)
+	return ok
+}
+
+func (n *Deflection) linkCount(r int) int {
+	c := 0
+	for d := 0; d < 4; d++ {
+		if n.hasLink(r, d) {
+			c++
+		}
+	}
+	return c
+}
+
+// eject delivers one flit into the terminal's reassembly buffer,
+// completing the packet when all flits have arrived.
+func (n *Deflection) eject(ni *deflIface, f deflFlit, now sim.Cycle) {
+	ni.reassembly[f.pkt]++
+	f.pkt.Hops++ // count flit ejections toward a hop average
+	if int(ni.reassembly[f.pkt]) == f.pkt.Size {
+		delete(ni.reassembly, f.pkt)
+		f.pkt.DeliveredAt = now + 1
+		ni.deliveries = append(ni.deliveries, f.pkt)
+	}
+}
+
+// sortFlits orders by (age, packet id, seq): oldest first.
+func sortFlits(fs []deflFlit) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.age != b.age {
+			return a.age < b.age
+		}
+		if a.pkt.ID != b.pkt.ID {
+			return a.pkt.ID < b.pkt.ID
+		}
+		return a.seq < b.seq
+	})
+}
+
+// Drain returns packets fully reassembled at or before the current
+// cycle, recording latency statistics.
+func (n *Deflection) Drain() []*Packet {
+	out := n.drainBuf[:0]
+	for t := range n.ifaces {
+		ni := &n.ifaces[t]
+		for ni.dHead < len(ni.deliveries) && ni.deliveries[ni.dHead].DeliveredAt <= n.cycle {
+			out = append(out, ni.deliveries[ni.dHead])
+			ni.deliveries[ni.dHead] = nil
+			ni.dHead++
+		}
+		if ni.dHead == len(ni.deliveries) && ni.dHead > 0 {
+			ni.deliveries = ni.deliveries[:0]
+			ni.dHead = 0
+		}
+	}
+	for _, p := range out {
+		hops := p.Hops / p.Size // average router visits per flit
+		n.tracker.Record(p.Class, float64(p.QueueingLatency()), float64(p.NetworkLatency()), hops)
+	}
+	n.delivered += uint64(len(out))
+	n.drainBuf = out
+	return out
+}
+
+// Tracker reports latency statistics of drained packets.
+func (n *Deflection) Tracker() *stats.LatencyTracker { return n.tracker }
+
+// Injected reports accepted packets.
+func (n *Deflection) Injected() uint64 { return n.injected }
+
+// Delivered reports drained packets.
+func (n *Deflection) Delivered() uint64 { return n.delivered }
+
+// InFlight reports packets injected but not drained.
+func (n *Deflection) InFlight() int { return int(n.injected - n.delivered) }
+
+// Deflections reports non-productive port assignments so far.
+func (n *Deflection) Deflections() uint64 {
+	var total uint64
+	for r := range n.routers {
+		total += n.routers[r].deflects
+	}
+	return total
+}
+
+// FlitHops reports total link traversals.
+func (n *Deflection) FlitHops() uint64 {
+	var total uint64
+	for r := range n.routers {
+		total += n.routers[r].flitHops
+	}
+	return total
+}
+
+// DeflectionRate reports deflections per link traversal.
+func (n *Deflection) DeflectionRate() float64 {
+	hops := n.FlitHops()
+	if hops == 0 {
+		return 0
+	}
+	return float64(n.Deflections()) / float64(hops)
+}
+
+// Quiescent reports whether nothing is queued, in flight, or awaiting
+// drain.
+func (n *Deflection) Quiescent() bool {
+	for r := range n.routers {
+		for d := 0; d < 4; d++ {
+			if n.routers[r].in[d].pkt != nil || n.routers[r].next[d].pkt != nil {
+				return false
+			}
+		}
+	}
+	for t := range n.ifaces {
+		ni := &n.ifaces[t]
+		if ni.qHead < len(ni.queue) || len(ni.reassembly) > 0 || ni.dHead < len(ni.deliveries) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close releases the engine if owned.
+func (n *Deflection) Close() {
+	if n.ownEng {
+		n.eng.Close()
+	}
+}

@@ -1,0 +1,80 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LinkUtilization reports per-directed-link utilization (flits per
+// cycle) keyed by (router, direction port).
+func (n *Network) LinkUtilization() map[[2]int]float64 {
+	out := make(map[[2]int]float64)
+	if n.cycle == 0 {
+		return out
+	}
+	lp := n.topo.LocalPorts()
+	for r := range n.routers {
+		for p := lp; p < n.topo.Ports(); p++ {
+			if _, _, ok := n.topo.Link(r, p); ok {
+				out[[2]int{r, p}] = float64(n.routers[r].outFlits[p]) / float64(n.cycle)
+			}
+		}
+	}
+	return out
+}
+
+// Heatmap renders router load (total flits switched per cycle per
+// router, normalized to the hottest router) as an ASCII grid, for grid
+// topologies. Each cell is a digit 0-9; '*' marks the hottest router.
+func (n *Network) Heatmap() string {
+	g, ok := n.topo.(interface {
+		Coord(router int) (x, y int)
+		Width() int
+		Height() int
+	})
+	if !ok {
+		return "(heatmap requires a grid topology)"
+	}
+	loads := make([]float64, len(n.routers))
+	var maxLoad float64
+	for r := range n.routers {
+		var total uint64
+		for _, c := range n.routers[r].outFlits {
+			total += c
+		}
+		loads[r] = float64(total)
+		if loads[r] > maxLoad {
+			maxLoad = loads[r]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "router load heatmap (0-9 relative to max %.2f flits/cycle):\n",
+		maxLoad/float64(max(1, int(n.cycle))))
+	for y := 0; y < g.Height(); y++ {
+		for x := 0; x < g.Width(); x++ {
+			r := y*g.Width() + x
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			if maxLoad == 0 {
+				b.WriteByte('0')
+				continue
+			}
+			frac := loads[r] / maxLoad
+			if frac >= 0.9999 {
+				b.WriteByte('*')
+				continue
+			}
+			b.WriteByte(byte('0' + int(frac*10)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

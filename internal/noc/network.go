@@ -1,0 +1,270 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/noc/engine"
+	"repro/internal/noc/topology"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ejectionCredits is the effectively-infinite credit count given to
+// local (ejection) output VCs, which sink into the NI without
+// backpressure. It is never decremented; the value is kept modest so
+// credit arithmetic over several VCs stays far from overflow.
+const ejectionCredits = 1 << 20
+
+// Network is a cycle-level NoC instance: routers, links, and network
+// interfaces over a topology and routing function. It is not safe for
+// concurrent use; the parallel engine parallelizes *within* Step.
+type Network struct {
+	cfg       Config
+	topo      topology.Topology
+	routing   topology.Routing
+	eng       engine.Engine
+	ownEngine bool
+
+	routers []router
+	links   [][]*link // inbound link per (router, port); nil if none
+	ifaces  []Iface
+
+	cycle     sim.Cycle
+	vcsPerSet int
+
+	tracker   *stats.LatencyTracker
+	injected  uint64
+	delivered uint64
+	nextID    uint64
+	drainBuf  []*Packet
+}
+
+// Option configures a Network at construction.
+type Option func(*Network)
+
+// WithEngine selects the execution engine (default: sequential). The
+// Network takes ownership and closes it on Close.
+func WithEngine(e engine.Engine) Option {
+	return func(n *Network) {
+		n.eng = e
+		n.ownEngine = true
+	}
+}
+
+// New constructs a cycle-level network over the given topology and
+// routing function.
+func New(cfg Config, topo topology.Topology, routing topology.Routing, opts ...Option) (*Network, error) {
+	if err := cfg.Validate(routing); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:       cfg,
+		topo:      topo,
+		routing:   routing,
+		eng:       engine.Sequential{},
+		vcsPerSet: cfg.VCsPerVNet / routing.VCSets(),
+		tracker:   stats.NewLatencyTracker(4, 512),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+
+	R := topo.NumRouters()
+	ports := topo.Ports()
+	V := cfg.TotalVCs()
+	lp := topo.LocalPorts()
+
+	n.routers = make([]router, R)
+	n.links = make([][]*link, R)
+	for r := 0; r < R; r++ {
+		n.routers[r] = newRouter(ports, V, cfg.BufDepth)
+		n.links[r] = make([]*link, ports)
+		// Ejection VCs sink without backpressure.
+		for p := 0; p < lp; p++ {
+			for v := 0; v < V; v++ {
+				n.routers[r].out[p*V+v].credits = ejectionCredits
+			}
+		}
+		for p := lp; p < ports; p++ {
+			for v := 0; v < V; v++ {
+				n.routers[r].out[p*V+v].credits = int32(cfg.BufDepth)
+			}
+		}
+	}
+	// Create each router's inbound links (written by the upstream router).
+	for r := 0; r < R; r++ {
+		for p := lp; p < ports; p++ {
+			if _, _, ok := topo.Link(r, p); ok {
+				// The link arriving at (r, p) comes from the neighbor
+				// this port connects to; its object lives at the
+				// receiving side.
+				n.links[r][p] = newLink(cfg.LinkLatency, cfg.CreditLatency)
+			}
+		}
+	}
+
+	n.ifaces = make([]Iface, topo.NumTerminals())
+	for t := range n.ifaces {
+		r, p := topo.RouterOf(t)
+		n.ifaces[t] = newIface(t, r, p, cfg)
+	}
+	return n, nil
+}
+
+// Cfg reports the network's configuration.
+func (n *Network) Cfg() Config { return n.cfg }
+
+// Topology reports the network's topology.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Cycle reports the next cycle to be simulated (0 before the first Step).
+func (n *Network) Cycle() sim.Cycle { return n.cycle }
+
+// Inject queues a packet for injection at its source NI at cycle `at`
+// (which must not precede already-queued packets at the same NI and
+// vnet). The packet's ID and CreatedAt are assigned here.
+func (n *Network) Inject(p *Packet, at sim.Cycle) {
+	if p.Size < 1 {
+		panic(fmt.Sprintf("noc: packet with size %d", p.Size))
+	}
+	if p.VNet < 0 || p.VNet >= n.cfg.VNets {
+		panic(fmt.Sprintf("noc: packet vnet %d out of range", p.VNet))
+	}
+	if p.Src < 0 || p.Src >= len(n.ifaces) || p.Dst < 0 || p.Dst >= len(n.ifaces) {
+		panic(fmt.Sprintf("noc: packet endpoints %d->%d out of range", p.Src, p.Dst))
+	}
+	p.ID = n.nextID
+	n.nextID++
+	p.CreatedAt = at
+	n.ifaces[p.Src].enqueue(p)
+	n.injected++
+}
+
+// Step simulates one cycle (the cycle reported by Cycle) and advances
+// the clock. The five phases each touch only router-owned state, so
+// the configured engine may run them across routers in parallel.
+func (n *Network) Step() {
+	R := len(n.routers)
+	n.eng.Run(R, n.phaseIngress)
+	n.eng.Run(R, n.phaseRC)
+	n.eng.Run(R, n.phaseVA)
+	n.eng.Run(R, n.phaseSA)
+	n.eng.Run(R, n.phaseST)
+	n.cycle++
+}
+
+// Run simulates the given number of cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain returns all packets delivered at or before the current cycle
+// that have not been returned before, recording their latency
+// statistics. The returned slice is reused by the next Drain call.
+func (n *Network) Drain() []*Packet {
+	out := n.drainBuf[:0]
+	for t := range n.ifaces {
+		out = n.ifaces[t].drainInto(out, n.cycle)
+	}
+	for _, p := range out {
+		n.tracker.Record(p.Class,
+			float64(p.QueueingLatency()), float64(p.NetworkLatency()), p.Hops)
+	}
+	n.delivered += uint64(len(out))
+	n.drainBuf = out
+	return out
+}
+
+// Tracker reports latency statistics of drained packets.
+func (n *Network) Tracker() *stats.LatencyTracker { return n.tracker }
+
+// Injected reports packets accepted by Inject.
+func (n *Network) Injected() uint64 { return n.injected }
+
+// Delivered reports packets returned by Drain.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// InFlight reports packets injected but not yet drained.
+func (n *Network) InFlight() int { return int(n.injected - n.delivered) }
+
+// FlitsSwitched reports total flits traversed across all router
+// output ports (including ejection).
+func (n *Network) FlitsSwitched() uint64 {
+	var total uint64
+	for r := range n.routers {
+		for _, c := range n.routers[r].outFlits {
+			total += c
+		}
+	}
+	return total
+}
+
+// AvgLinkUtilization reports mean flits per cycle per network link
+// (ejection and injection excluded) since construction.
+func (n *Network) AvgLinkUtilization() float64 {
+	if n.cycle == 0 {
+		return 0
+	}
+	lp := n.topo.LocalPorts()
+	var flits uint64
+	links := 0
+	for r := range n.routers {
+		for p := lp; p < n.topo.Ports(); p++ {
+			if _, _, ok := n.topo.Link(r, p); ok {
+				flits += n.routers[r].outFlits[p]
+				links++
+			}
+		}
+	}
+	if links == 0 {
+		return 0
+	}
+	return float64(flits) / float64(links) / float64(n.cycle)
+}
+
+// BufferedFlits reports flits currently held in router input buffers.
+func (n *Network) BufferedFlits() int {
+	total := 0
+	for r := range n.routers {
+		for i := range n.routers[r].in {
+			total += n.routers[r].in[i].buf.len()
+		}
+	}
+	return total
+}
+
+// Quiescent reports whether no packet is queued, serializing, in a
+// buffer, on a link, or awaiting drain anywhere in the network.
+func (n *Network) Quiescent() bool {
+	if n.BufferedFlits() > 0 {
+		return false
+	}
+	for t := range n.ifaces {
+		ni := &n.ifaces[t]
+		if !ni.idle() || ni.dHead < len(ni.deliveries) {
+			return false
+		}
+	}
+	for r := range n.links {
+		for _, l := range n.links[r] {
+			if l == nil {
+				continue
+			}
+			for _, f := range l.flits {
+				if f.pkt != nil {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Close releases the engine if the network owns one.
+func (n *Network) Close() {
+	if n.ownEngine {
+		n.eng.Close()
+	}
+}

@@ -1,0 +1,159 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Packet is the unit of transfer the network's clients see. A packet
+// is segmented into Size flits for transmission and reassembled at the
+// destination network interface.
+type Packet struct {
+	// ID is assigned at injection and unique within a Network.
+	ID uint64
+	// Src and Dst are terminal (core/NI) indices.
+	Src, Dst int
+	// VNet selects the virtual network (0..Config.VNets-1).
+	VNet int
+	// Class labels the packet for latency statistics.
+	Class stats.LatencyClass
+	// Size is the packet length in flits (>= 1).
+	Size int
+	// CreatedAt is when the packet entered its source injection queue;
+	// InjectedAt is when its head flit entered the source router;
+	// DeliveredAt is when its tail flit reached the destination NI.
+	CreatedAt, InjectedAt, DeliveredAt sim.Cycle
+	// Hops counts router traversals (1 for terminals sharing a router).
+	Hops int
+	// Payload carries the client's message through the network opaquely.
+	Payload interface{}
+}
+
+// QueueingLatency reports cycles spent waiting in the source NI.
+func (p *Packet) QueueingLatency() sim.Cycle { return p.InjectedAt - p.CreatedAt }
+
+// NetworkLatency reports cycles from first flit entering the source
+// router to the tail reaching the destination NI.
+func (p *Packet) NetworkLatency() sim.Cycle { return p.DeliveredAt - p.InjectedAt }
+
+// TotalLatency reports end-to-end cycles including source queueing.
+func (p *Packet) TotalLatency() sim.Cycle { return p.DeliveredAt - p.CreatedAt }
+
+// String formats the packet for diagnostics.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt%d %d->%d vnet%d size%d", p.ID, p.Src, p.Dst, p.VNet, p.Size)
+}
+
+// flitEntry is a flit occupying an input-buffer slot. The head flit is
+// seq 0 and the tail is seq Size-1 (a single-flit packet is both).
+type flitEntry struct {
+	pkt   *Packet
+	seq   int32
+	ready sim.Cycle // earliest cycle the router pipeline may switch it
+}
+
+func (f flitEntry) head() bool { return f.seq == 0 }
+func (f flitEntry) tail() bool { return int(f.seq) == f.pkt.Size-1 }
+
+// flitBuf is a fixed-capacity FIFO of flit entries (one VC buffer).
+type flitBuf struct {
+	slots []flitEntry
+	head  int
+	count int
+}
+
+func newFlitBuf(depth int) flitBuf { return flitBuf{slots: make([]flitEntry, depth)} }
+
+func (b *flitBuf) len() int   { return b.count }
+func (b *flitBuf) full() bool { return b.count == len(b.slots) }
+
+func (b *flitBuf) push(e flitEntry) {
+	if b.full() {
+		panic(fmt.Sprintf("noc: VC buffer overflow (credit protocol violation) pushing %v", e.pkt))
+	}
+	b.slots[(b.head+b.count)%len(b.slots)] = e
+	b.count++
+}
+
+func (b *flitBuf) front() flitEntry {
+	if b.count == 0 {
+		panic("noc: front of empty VC buffer")
+	}
+	return b.slots[b.head]
+}
+
+func (b *flitBuf) pop() flitEntry {
+	e := b.front()
+	b.slots[b.head] = flitEntry{}
+	b.head = (b.head + 1) % len(b.slots)
+	b.count--
+	return e
+}
+
+// linkFlit is a flit in flight on a link, carrying the downstream
+// virtual channel the sender allocated.
+type linkFlit struct {
+	pkt *Packet
+	seq int32
+	vc  int16
+}
+
+// link is the wiring between an upstream router's output port and a
+// downstream router's input port. Flit slots are written by the
+// upstream router (traversal phase) and consumed by the downstream
+// router (ingress phase); credit slots flow the opposite way. Slots
+// are rings indexed by absolute cycle modulo the ring size, so no
+// per-cycle shifting is needed.
+type link struct {
+	flits   []linkFlit // ring of LinkLatency+1 slots
+	credits []int16    // ring of CreditLatency+1 slots; -1 = empty
+}
+
+func newLink(linkLatency, creditLatency int) *link {
+	l := &link{
+		flits:   make([]linkFlit, linkLatency+1),
+		credits: make([]int16, creditLatency+1),
+	}
+	for i := range l.credits {
+		l.credits[i] = -1
+	}
+	return l
+}
+
+func (l *link) sendFlit(now sim.Cycle, latency int, f linkFlit) {
+	slot := int(now+sim.Cycle(latency)) % len(l.flits)
+	if l.flits[slot].pkt != nil {
+		panic("noc: link flit slot collision")
+	}
+	l.flits[slot] = f
+}
+
+func (l *link) recvFlit(now sim.Cycle) (linkFlit, bool) {
+	slot := int(now) % len(l.flits)
+	f := l.flits[slot]
+	if f.pkt == nil {
+		return linkFlit{}, false
+	}
+	l.flits[slot] = linkFlit{}
+	return f, true
+}
+
+func (l *link) sendCredit(now sim.Cycle, latency int, vc int16) {
+	slot := int(now+sim.Cycle(latency)) % len(l.credits)
+	if l.credits[slot] != -1 {
+		panic("noc: link credit slot collision")
+	}
+	l.credits[slot] = vc
+}
+
+func (l *link) recvCredit(now sim.Cycle) (int16, bool) {
+	slot := int(now) % len(l.credits)
+	vc := l.credits[slot]
+	if vc == -1 {
+		return -1, false
+	}
+	l.credits[slot] = -1
+	return vc, true
+}

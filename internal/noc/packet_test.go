@@ -1,0 +1,159 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFlitBufFIFO(t *testing.T) {
+	b := newFlitBuf(3)
+	p := &Packet{Size: 3}
+	for s := int32(0); s < 3; s++ {
+		b.push(flitEntry{pkt: p, seq: s})
+	}
+	if !b.full() || b.len() != 3 {
+		t.Fatal("buffer should be full")
+	}
+	for s := int32(0); s < 3; s++ {
+		if e := b.pop(); e.seq != s {
+			t.Fatalf("pop order: got %d want %d", e.seq, s)
+		}
+	}
+	if b.len() != 0 {
+		t.Fatal("buffer should be empty")
+	}
+}
+
+func TestFlitBufWrapsAround(t *testing.T) {
+	b := newFlitBuf(2)
+	p := &Packet{Size: 100}
+	for i := int32(0); i < 20; i++ {
+		b.push(flitEntry{pkt: p, seq: i})
+		if i%2 == 1 {
+			if e := b.pop(); e.seq != i-1 {
+				t.Fatalf("wrap pop: got %d want %d", e.seq, i-1)
+			}
+			if e := b.pop(); e.seq != i {
+				t.Fatalf("wrap pop: got %d want %d", e.seq, i)
+			}
+		}
+	}
+}
+
+func TestFlitBufOverflowPanics(t *testing.T) {
+	b := newFlitBuf(1)
+	b.push(flitEntry{pkt: &Packet{Size: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow should panic")
+		}
+	}()
+	b.push(flitEntry{pkt: &Packet{Size: 1}})
+}
+
+func TestFlitBufEmptyFrontPanics(t *testing.T) {
+	b := newFlitBuf(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("front of empty buffer should panic")
+		}
+	}()
+	b.front()
+}
+
+func TestHeadTailFlags(t *testing.T) {
+	p := &Packet{Size: 3}
+	if h := (flitEntry{pkt: p, seq: 0}); !h.head() || h.tail() {
+		t.Error("seq 0 of 3 should be head only")
+	}
+	if tl := (flitEntry{pkt: p, seq: 2}); tl.head() || !tl.tail() {
+		t.Error("seq 2 of 3 should be tail only")
+	}
+	single := &Packet{Size: 1}
+	if s := (flitEntry{pkt: single, seq: 0}); !s.head() || !s.tail() {
+		t.Error("single flit is both head and tail")
+	}
+}
+
+// Property: a flit sent on a link arrives exactly latency cycles later
+// and exactly once.
+func TestLinkLatencyProperty(t *testing.T) {
+	f := func(latency uint8, start uint16) bool {
+		lat := int(latency%8) + 1
+		l := newLink(lat, 1)
+		t0 := sim.Cycle(start)
+		p := &Packet{Size: 1}
+		l.sendFlit(t0, lat, linkFlit{pkt: p})
+		for c := t0; c < t0+sim.Cycle(lat); c++ {
+			if _, ok := l.recvFlit(c); ok && c != t0+sim.Cycle(lat) {
+				return false // arrived early
+			}
+		}
+		got, ok := l.recvFlit(t0 + sim.Cycle(lat))
+		if !ok || got.pkt != p {
+			return false
+		}
+		// Gone after receipt.
+		_, again := l.recvFlit(t0 + sim.Cycle(lat))
+		return !again
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkCreditRoundTrip(t *testing.T) {
+	l := newLink(1, 2)
+	l.sendCredit(10, 2, 3)
+	if _, ok := l.recvCredit(11); ok {
+		t.Fatal("credit arrived early")
+	}
+	vc, ok := l.recvCredit(12)
+	if !ok || vc != 3 {
+		t.Fatalf("credit = %d, %v", vc, ok)
+	}
+}
+
+func TestLinkCollisionPanics(t *testing.T) {
+	l := newLink(1, 1)
+	l.sendFlit(0, 1, linkFlit{pkt: &Packet{Size: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("slot collision should panic")
+		}
+	}()
+	// Same arrival slot without an intervening receive.
+	l.sendFlit(2, 1, linkFlit{pkt: &Packet{Size: 1}})
+}
+
+func TestPacketLatencyAccessors(t *testing.T) {
+	p := &Packet{CreatedAt: 10, InjectedAt: 14, DeliveredAt: 40}
+	if p.QueueingLatency() != 4 || p.NetworkLatency() != 26 || p.TotalLatency() != 30 {
+		t.Errorf("latency accessors wrong: %d %d %d",
+			p.QueueingLatency(), p.NetworkLatency(), p.TotalLatency())
+	}
+}
+
+func TestHeatmapRendersGrid(t *testing.T) {
+	n, _ := mesh4(t)
+	n.Inject(&Packet{Src: 0, Dst: 15, VNet: 0, Size: 5}, 0)
+	runUntilDelivered(t, n, 1, 300)
+	hm := n.Heatmap()
+	if len(hm) == 0 {
+		t.Fatal("empty heatmap")
+	}
+	lines := 0
+	for _, c := range hm {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 5 { // header + 4 rows
+		t.Errorf("heatmap lines = %d, want 5:\n%s", lines, hm)
+	}
+	if got := n.LinkUtilization(); len(got) == 0 {
+		t.Error("no link utilization entries")
+	}
+}

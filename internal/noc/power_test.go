@@ -1,0 +1,82 @@
+package noc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noc/topology"
+	"repro/internal/sim"
+)
+
+func TestEnergyCountersConsistent(t *testing.T) {
+	n, _ := mesh4(t)
+	// A single 5-flit packet crossing 7 routers.
+	p := &Packet{Src: 0, Dst: 15, VNet: 0, Size: 5}
+	n.Inject(p, 0)
+	runUntilDelivered(t, n, 1, 300)
+	r := n.Energy(DefaultEnergy())
+
+	// Every flit is written once per router it enters (7 routers) and
+	// read once per router it leaves.
+	if r.BufWrites != 5*7 {
+		t.Errorf("buffer writes = %d, want 35", r.BufWrites)
+	}
+	if r.BufReads != r.XbarFlits {
+		t.Errorf("every crossbar traversal pops a buffer: reads=%d xbar=%d", r.BufReads, r.XbarFlits)
+	}
+	// 6 link traversals (the 7th hop ejects locally).
+	if r.LinkFlits != 5*6 {
+		t.Errorf("link flits = %d, want 30", r.LinkFlits)
+	}
+	if r.DynamicPJ() <= 0 || r.LeakagePJ <= 0 {
+		t.Error("energy must be positive")
+	}
+	if got := r.TotalPJ(); math.Abs(got-(r.DynamicPJ()+r.LeakagePJ)) > 1e-9 {
+		t.Error("total != dynamic + leakage")
+	}
+}
+
+func TestEnergyScalesWithTraffic(t *testing.T) {
+	run := func(packets int) PowerReport {
+		m := topology.NewMesh(4, 4, 1)
+		n := mustNet(t, DefaultConfig(), m, topology.NewXY(m))
+		for i := 0; i < packets; i++ {
+			n.Inject(&Packet{Src: i % 16, Dst: (i + 5) % 16, VNet: 0, Size: 3}, sim.Cycle(i))
+		}
+		runUntilDelivered(t, n, packets, 100000)
+		// Normalize leakage: advance both to the same cycle count.
+		for n.Cycle() < 5000 {
+			n.Step()
+		}
+		return n.Energy(DefaultEnergy())
+	}
+	light := run(10)
+	heavy := run(200)
+	if heavy.DynamicPJ() <= light.DynamicPJ()*5 {
+		t.Errorf("dynamic energy should scale with traffic: %v vs %v",
+			light.DynamicPJ(), heavy.DynamicPJ())
+	}
+	if light.LeakagePJ != heavy.LeakagePJ {
+		t.Errorf("same-cycle leakage should match: %v vs %v", light.LeakagePJ, heavy.LeakagePJ)
+	}
+}
+
+func TestPowerReportTable(t *testing.T) {
+	n, _ := mesh4(t)
+	n.Inject(&Packet{Src: 0, Dst: 15, VNet: 0, Size: 5}, 0)
+	runUntilDelivered(t, n, 1, 300)
+	tb := n.Energy(DefaultEnergy()).Table("power", 2.0)
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[5][0] != "total" {
+		t.Error("missing total row")
+	}
+}
+
+func TestAvgPowerZeroCycles(t *testing.T) {
+	var r PowerReport
+	if r.AvgPowerMW(2) != 0 {
+		t.Error("zero-cycle report should have zero power")
+	}
+}

@@ -1,0 +1,138 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/noc/topology"
+	"repro/internal/sim"
+)
+
+// TestConservationProperty: across random router configurations,
+// topologies, and traffic, every injected packet is delivered exactly
+// once and the network fully drains — no loss, duplication, or
+// deadlock.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed uint64, vcsRaw, depthRaw, sideRaw, rateRaw uint8, torus bool) bool {
+		vcs := 1 + int(vcsRaw)%3     // 1..3
+		depth := 2 + int(depthRaw)%4 // 2..5
+		side := 3 + int(sideRaw)%3   // 3..5
+		rate := 0.05 + float64(rateRaw%20)/100.0
+
+		var topo topology.Topology
+		var routing topology.Routing
+		if torus {
+			tor := topology.NewTorus(side, side, 1)
+			topo, routing = tor, topology.NewTorusDOR(tor)
+			if vcs%2 == 1 {
+				vcs++ // dateline needs an even VC count per vnet
+			}
+		} else {
+			m := topology.NewMesh(side, side, 1)
+			topo, routing = m, topology.NewXY(m)
+		}
+		cfg := DefaultConfig()
+		cfg.VCsPerVNet = vcs
+		cfg.BufDepth = depth
+		n, err := New(cfg, topo, routing)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		defer n.Close()
+
+		rng := sim.NewRNG(seed, 77)
+		terms := topo.NumTerminals()
+		injected := 0
+		seen := make(map[uint64]int)
+		for cyc := 0; cyc < 150; cyc++ {
+			for s := 0; s < terms; s++ {
+				if rng.Bernoulli(rate) {
+					d := rng.Intn(terms - 1)
+					if d >= s {
+						d++
+					}
+					n.Inject(&Packet{Src: s, Dst: d, VNet: rng.Intn(3), Size: 1 + rng.Intn(5)}, n.Cycle())
+					injected++
+				}
+			}
+			n.Step()
+			for _, p := range n.Drain() {
+				seen[p.ID]++
+			}
+		}
+		for i := 0; i < 100000 && !n.Quiescent(); i++ {
+			n.Step()
+			for _, p := range n.Drain() {
+				seen[p.ID]++
+			}
+		}
+		if !n.Quiescent() {
+			t.Logf("seed=%d vcs=%d depth=%d side=%d torus=%v: failed to drain", seed, vcs, depth, side, torus)
+			return false
+		}
+		if len(seen) != injected {
+			t.Logf("lost packets: %d/%d", len(seen), injected)
+			return false
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Logf("packet %d delivered %d times", id, c)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeflectionConservationProperty: the bufferless network preserves
+// the same conservation invariant under random load.
+func TestDeflectionConservationProperty(t *testing.T) {
+	f := func(seed uint64, sideRaw, rateRaw uint8) bool {
+		side := 3 + int(sideRaw)%3
+		rate := 0.05 + float64(rateRaw%25)/100.0
+		m := topology.NewMesh(side, side, 1)
+		n, err := NewDeflection(DefaultDeflectConfig(), m)
+		if err != nil {
+			return false
+		}
+		defer n.Close()
+		rng := sim.NewRNG(seed, 99)
+		terms := m.NumTerminals()
+		injected := 0
+		delivered := 0
+		for cyc := 0; cyc < 150; cyc++ {
+			for s := 0; s < terms; s++ {
+				if rng.Bernoulli(rate) {
+					d := rng.Intn(terms - 1)
+					if d >= s {
+						d++
+					}
+					n.Inject(&Packet{Src: s, Dst: d, Size: 1 + rng.Intn(4)}, n.Cycle())
+					injected++
+				}
+			}
+			n.Step()
+			delivered += len(n.Drain())
+		}
+		for i := 0; i < 200000 && !n.Quiescent(); i++ {
+			n.Step()
+			delivered += len(n.Drain())
+		}
+		return n.Quiescent() && delivered == injected
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

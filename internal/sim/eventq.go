@@ -1,0 +1,135 @@
+package sim
+
+// Event is a callback scheduled at a target cycle. Events at the same
+// cycle fire in insertion order, which keeps event-driven components
+// deterministic without requiring callers to break ties themselves.
+type Event struct {
+	When Cycle
+	Fire func()
+
+	seq   uint64
+	index int
+}
+
+// EventQueue is a binary-heap priority queue of events ordered by
+// (cycle, insertion sequence). The zero value is an empty queue.
+type EventQueue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.heap) }
+
+// Schedule enqueues fn to fire at cycle when and returns the event,
+// which the caller may later Cancel.
+func (q *EventQueue) Schedule(when Cycle, fn func()) *Event {
+	e := &Event{When: when, Fire: fn, seq: q.seq}
+	q.seq++
+	e.index = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+	return e
+}
+
+// Cancel removes a pending event; cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *EventQueue) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(q.heap) || q.heap[e.index] != e {
+		return
+	}
+	i := e.index
+	last := len(q.heap) - 1
+	q.swap(i, last)
+	q.heap = q.heap[:last]
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+	e.index = -1
+}
+
+// NextTime reports the cycle of the earliest pending event; ok is false
+// when the queue is empty.
+func (q *EventQueue) NextTime() (when Cycle, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].When, true
+}
+
+// Pop removes and returns the earliest event; nil when empty.
+func (q *EventQueue) Pop() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	e := q.heap[0]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+// RunUntil fires every event scheduled at or before cycle `until`,
+// including events those events schedule within the window. It returns
+// the number of events fired.
+func (q *EventQueue) RunUntil(until Cycle) int {
+	fired := 0
+	for {
+		when, ok := q.NextTime()
+		if !ok || when > until {
+			return fired
+		}
+		e := q.Pop()
+		e.Fire()
+		fired++
+	}
+}
+
+func (q *EventQueue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.When != b.When {
+		return a.When < b.When
+	}
+	return a.seq < b.seq
+}
+
+func (q *EventQueue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,111 @@
+// Package sim provides the deterministic simulation kernel shared by
+// the NoC, full-system, and co-simulation layers: the target cycle
+// clock, seeded random streams, and a discrete-event queue.
+//
+// Determinism is a hard requirement for the reproduction: the accuracy
+// experiments compare the same workload executed under different
+// network abstractions, so every source of randomness must be a seeded
+// stream keyed by a stable component identity, never shared across
+// components whose relative ordering could differ between runs.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cycle is a target-machine clock cycle. All simulators in this module
+// advance in units of Cycle; wall-clock time never enters simulated state.
+type Cycle uint64
+
+// String formats the cycle for logs.
+func (c Cycle) String() string { return fmt.Sprintf("cyc%d", uint64(c)) }
+
+// RNG is a small, fast, seedable PCG-XSH-RR 64/32 generator. Each
+// simulator component owns its own stream so that adding or removing a
+// component never perturbs another component's random sequence.
+type RNG struct {
+	state uint64
+	inc   uint64
+}
+
+// NewRNG returns a generator for the given (seed, stream) pair.
+// Distinct streams are guaranteed independent sequences.
+func NewRNG(seed, stream uint64) *RNG {
+	r := &RNG{inc: stream<<1 | 1}
+	r.state = 0
+	r.Uint32()
+	r.state += seed
+	r.Uint32()
+	return r
+}
+
+// Uint32 returns the next 32 random bits.
+func (r *RNG) Uint32() uint32 {
+	old := r.state
+	r.state = old*6364136223846793005 + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	return uint64(r.Uint32())<<32 | uint64(r.Uint32())
+}
+
+// Intn returns a uniform integer in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := uint64(r.Uint32()) * uint64(n)
+	lo := uint32(v)
+	if lo < uint32(n) {
+		threshold := uint32(-uint32(n)) % uint32(n)
+		for lo < threshold {
+			v = uint64(r.Uint32()) * uint64(n)
+			lo = uint32(v)
+		}
+	}
+	return int(v >> 32)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample from the geometric distribution with
+// success probability p (number of trials until first success, >= 1).
+// It degenerates to 1 when p >= 1.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		panic("sim: Geometric with non-positive p")
+	}
+	n := 1
+	for !r.Bernoulli(p) {
+		n++
+		// Bound pathological streaks so a bad parameter cannot hang a run.
+		if n > 1<<20 {
+			return n
+		}
+	}
+	return n
+}
+
+// Exp returns an exponential variate with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}

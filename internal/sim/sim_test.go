@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministicStreams(t *testing.T) {
+	a := NewRNG(42, 1)
+	b := NewRNG(42, 1)
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatal("same (seed, stream) must produce identical sequences")
+		}
+	}
+	c := NewRNG(42, 2)
+	same := 0
+	d := NewRNG(42, 1)
+	for i := 0; i < 1000; i++ {
+		if c.Uint32() == d.Uint32() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("distinct streams look correlated: %d/1000 collisions", same)
+	}
+}
+
+func TestIntnBoundsAndUniformity(t *testing.T) {
+	r := NewRNG(7, 3)
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if math.Abs(float64(c)-draws/10) > draws/10*0.1 {
+			t.Errorf("digit %d count %d deviates from uniform", d, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1, 1)
+	var sum float64
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 100000; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %v far from 0.5", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(5, 9)
+	const p = 0.25
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	if mean := sum / n; math.Abs(mean-1/p) > 0.15 {
+		t.Errorf("geometric mean %v, want ~%v", mean, 1/p)
+	}
+	if NewRNG(1, 1).Geometric(1.5) != 1 {
+		t.Error("p >= 1 should return 1")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(8, 2)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.5 {
+		t.Errorf("exp mean %v, want ~10", mean)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	var fired []int
+	q.Schedule(5, func() { fired = append(fired, 5) })
+	q.Schedule(1, func() { fired = append(fired, 1) })
+	q.Schedule(3, func() { fired = append(fired, 30) })
+	q.Schedule(3, func() { fired = append(fired, 31) }) // same-cycle FIFO
+	q.Schedule(2, func() { fired = append(fired, 2) })
+	if n := q.RunUntil(3); n != 4 {
+		t.Fatalf("fired %d events, want 4", n)
+	}
+	want := []int{1, 2, 30, 31}
+	for i, w := range want {
+		if fired[i] != w {
+			t.Fatalf("order %v, want %v", fired, want)
+		}
+	}
+	if when, ok := q.NextTime(); !ok || when != 5 {
+		t.Errorf("next = %v %v", when, ok)
+	}
+}
+
+func TestEventQueueCascade(t *testing.T) {
+	var q EventQueue
+	var fired []string
+	q.Schedule(1, func() {
+		fired = append(fired, "a")
+		q.Schedule(2, func() { fired = append(fired, "b") })
+	})
+	q.RunUntil(10)
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("cascade: %v", fired)
+	}
+}
+
+func TestEventQueueCancel(t *testing.T) {
+	var q EventQueue
+	ran := false
+	e := q.Schedule(1, func() { ran = true })
+	q.Cancel(e)
+	q.Cancel(e) // idempotent
+	q.Cancel(nil)
+	q.RunUntil(10)
+	if ran {
+		t.Error("cancelled event fired")
+	}
+	if q.Len() != 0 {
+		t.Errorf("len = %d", q.Len())
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of
+// insertion order.
+func TestEventQueueHeapProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var q EventQueue
+		var fired []Cycle
+		for _, tm := range times {
+			when := Cycle(tm)
+			q.Schedule(when, func() { fired = append(fired, when) })
+		}
+		q.RunUntil(Cycle(math.MaxUint16))
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventQueuePop(t *testing.T) {
+	var q EventQueue
+	if q.Pop() != nil {
+		t.Error("pop of empty queue should be nil")
+	}
+	q.Schedule(9, func() {})
+	q.Schedule(4, func() {})
+	if e := q.Pop(); e.When != 4 {
+		t.Errorf("pop = %v", e.When)
+	}
+}

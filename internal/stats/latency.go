@@ -1,0 +1,125 @@
+package stats
+
+import "fmt"
+
+// LatencyClass identifies a traffic class whose latency is tracked
+// separately (virtual networks in the NoC, message classes in the
+// coherence protocol).
+type LatencyClass uint8
+
+// Latency classes used across the repository. The NoC maps virtual
+// networks onto these; the coherence protocol maps message types.
+const (
+	ClassRequest  LatencyClass = iota // short control messages
+	ClassResponse                     // data-carrying replies
+	ClassControl                      // coherence control (inv/ack/wb)
+	NumClasses
+)
+
+// String names the class for tables.
+func (c LatencyClass) String() string {
+	switch c {
+	case ClassRequest:
+		return "req"
+	case ClassResponse:
+		return "resp"
+	case ClassControl:
+		return "ctrl"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// LatencyTracker accumulates end-to-end packet latency, decomposed into
+// queueing (source wait) and network (in-flight) components, per class
+// and in aggregate.
+type LatencyTracker struct {
+	total    Running
+	network  Running
+	queueing Running
+	hops     Running
+	byClass  [NumClasses]Running
+	hist     *Histogram
+}
+
+// NewLatencyTracker returns a tracker with a histogram of the given
+// bin width and count for percentile queries.
+func NewLatencyTracker(binWidth float64, nbins int) *LatencyTracker {
+	return &LatencyTracker{hist: NewHistogram(binWidth, nbins)}
+}
+
+// Record logs one delivered packet. All times are in target cycles.
+func (t *LatencyTracker) Record(class LatencyClass, queueing, network float64, hops int) {
+	total := queueing + network
+	t.total.Add(total)
+	t.network.Add(network)
+	t.queueing.Add(queueing)
+	t.hops.Add(float64(hops))
+	if int(class) < len(t.byClass) {
+		t.byClass[class].Add(total)
+	}
+	if t.hist != nil {
+		t.hist.Add(total)
+	}
+}
+
+// Count reports delivered packets.
+func (t *LatencyTracker) Count() uint64 { return t.total.Count() }
+
+// Mean reports mean end-to-end latency.
+func (t *LatencyTracker) Mean() float64 { return t.total.Mean() }
+
+// MeanNetwork reports mean in-network latency (excluding source queueing).
+func (t *LatencyTracker) MeanNetwork() float64 { return t.network.Mean() }
+
+// MeanQueueing reports mean source-queueing latency.
+func (t *LatencyTracker) MeanQueueing() float64 { return t.queueing.Mean() }
+
+// MeanHops reports the mean hop count.
+func (t *LatencyTracker) MeanHops() float64 { return t.hops.Mean() }
+
+// Max reports the maximum end-to-end latency.
+func (t *LatencyTracker) Max() float64 { return t.total.Max() }
+
+// ClassMean reports mean latency for one class.
+func (t *LatencyTracker) ClassMean(c LatencyClass) float64 { return t.byClass[c].Mean() }
+
+// ClassCount reports delivered packets for one class.
+func (t *LatencyTracker) ClassCount(c LatencyClass) uint64 { return t.byClass[c].Count() }
+
+// Percentile estimates a latency quantile; requires histogram support.
+func (t *LatencyTracker) Percentile(p float64) float64 {
+	if t.hist == nil {
+		return 0
+	}
+	return t.hist.Percentile(p)
+}
+
+// Merge combines another tracker (histogram geometry must match when
+// both trackers carry histograms).
+func (t *LatencyTracker) Merge(o *LatencyTracker) {
+	t.total.Merge(o.total)
+	t.network.Merge(o.network)
+	t.queueing.Merge(o.queueing)
+	t.hops.Merge(o.hops)
+	for i := range t.byClass {
+		t.byClass[i].Merge(o.byClass[i])
+	}
+	if t.hist != nil && o.hist != nil {
+		t.hist.Merge(o.hist)
+	}
+}
+
+// Reset clears all accumulators.
+func (t *LatencyTracker) Reset() {
+	t.total.Reset()
+	t.network.Reset()
+	t.queueing.Reset()
+	t.hops.Reset()
+	for i := range t.byClass {
+		t.byClass[i].Reset()
+	}
+	if t.hist != nil {
+		t.hist.Reset()
+	}
+}

@@ -1,0 +1,120 @@
+package traffic
+
+import (
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Generator drives a network open-loop: every cycle, each terminal
+// injects a packet with probability Rate (a Bernoulli process), with
+// destinations drawn from Pattern. Packet sizes alternate between
+// short control packets and long data packets according to DataFrac.
+type Generator struct {
+	// Pattern picks destinations.
+	Pattern Pattern
+	// Rate is the per-terminal injection probability per cycle, in
+	// packets/cycle/terminal.
+	Rate float64
+	// Terminals is the number of injecting terminals.
+	Terminals int
+	// VNets bounds the virtual networks used (data packets use vnet 1
+	// when available).
+	VNets int
+	// ShortSize and LongSize are packet lengths in flits.
+	ShortSize, LongSize int
+	// DataFrac is the fraction of packets using LongSize.
+	DataFrac float64
+	// Seed keys the per-terminal random streams.
+	Seed uint64
+
+	rngs []*sim.RNG
+}
+
+// DefaultSizes configures the 1-flit control / 5-flit data mix used
+// across the evaluation (64-byte lines over 128-bit links plus a
+// header flit).
+func (g *Generator) DefaultSizes() {
+	g.ShortSize = 1
+	g.LongSize = 5
+	g.DataFrac = 0.5
+}
+
+func (g *Generator) init() {
+	if g.ShortSize == 0 {
+		g.DefaultSizes()
+	}
+	if g.VNets == 0 {
+		g.VNets = 1
+	}
+	if g.rngs == nil {
+		g.rngs = make([]*sim.RNG, g.Terminals)
+		for t := range g.rngs {
+			g.rngs[t] = sim.NewRNG(g.Seed, uint64(t)*2+1)
+		}
+	}
+}
+
+// Emit generates this cycle's packets and hands each to inject. It
+// returns the number generated. The same seed and parameters generate
+// the same packet sequence regardless of the consuming network — the
+// property the accuracy experiments rely on when comparing abstraction
+// levels under identical offered load.
+func (g *Generator) Emit(now sim.Cycle, inject func(*noc.Packet)) int {
+	g.init()
+	injected := 0
+	for t := 0; t < g.Terminals; t++ {
+		rng := g.rngs[t]
+		if !rng.Bernoulli(g.Rate) {
+			continue
+		}
+		size := g.ShortSize
+		class := stats.ClassRequest
+		vnet := 0
+		if rng.Bernoulli(g.DataFrac) {
+			size = g.LongSize
+			class = stats.ClassResponse
+			if g.VNets > 1 {
+				vnet = 1
+			}
+		}
+		dst := g.Pattern.Dst(t, g.Terminals, rng)
+		inject(&noc.Packet{Src: t, Dst: dst, VNet: vnet, Class: class, Size: size})
+		injected++
+	}
+	return injected
+}
+
+// Tick injects this cycle's packets into a detailed network (call
+// before the network's Step for the same cycle).
+func (g *Generator) Tick(n *noc.Network, now sim.Cycle) int {
+	if g.Terminals == 0 {
+		g.Terminals = n.Topology().NumTerminals()
+	}
+	if g.VNets == 0 {
+		g.VNets = n.Cfg().VNets
+	}
+	return g.Emit(now, func(p *noc.Packet) { n.Inject(p, now) })
+}
+
+// RunOpenLoop drives the network with this generator for warmup +
+// measure cycles, resetting the tracker after warmup, then drains for
+// up to drainLimit extra cycles. It returns the network's tracker.
+func (g *Generator) RunOpenLoop(n *noc.Network, warmup, measure, drainLimit int) *stats.LatencyTracker {
+	for i := 0; i < warmup; i++ {
+		g.Tick(n, n.Cycle())
+		n.Step()
+		n.Drain()
+	}
+	n.Tracker().Reset()
+	for i := 0; i < measure; i++ {
+		g.Tick(n, n.Cycle())
+		n.Step()
+		n.Drain()
+	}
+	for i := 0; i < drainLimit && !n.Quiescent(); i++ {
+		n.Step()
+		n.Drain()
+	}
+	return n.Tracker()
+}

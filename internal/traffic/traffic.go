@@ -1,0 +1,172 @@
+// Package traffic provides the open-loop synthetic traffic generators
+// used for standalone NoC evaluation (experiment F1) and for the
+// in-vacuum baseline of experiment F2: classic spatial patterns with a
+// Bernoulli injection process per terminal.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// Pattern maps a source terminal to a destination terminal for a
+// network with n terminals.
+type Pattern interface {
+	// Name identifies the pattern in tables and logs.
+	Name() string
+	// Dst picks the destination for a packet from src among n
+	// terminals, using rng for randomized patterns.
+	Dst(src, n int, rng *sim.RNG) int
+}
+
+// Uniform sends each packet to a destination chosen uniformly among
+// all other terminals.
+type Uniform struct{}
+
+func (Uniform) Name() string { return "uniform" }
+
+func (Uniform) Dst(src, n int, rng *sim.RNG) int {
+	d := rng.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Transpose sends from (x, y) to (y, x) on a square grid of side s
+// (terminals in row-major order). Terminals on the diagonal fall back
+// to uniform.
+type Transpose struct{ Side int }
+
+func (t Transpose) Name() string { return "transpose" }
+
+func (t Transpose) Dst(src, n int, rng *sim.RNG) int {
+	s := t.Side
+	x, y := src%s, src/s
+	d := x*s + y
+	if d == src {
+		return Uniform{}.Dst(src, n, rng)
+	}
+	return d
+}
+
+// BitComplement sends terminal i to terminal (n-1)-i.
+type BitComplement struct{}
+
+func (BitComplement) Name() string { return "bitcomp" }
+
+func (BitComplement) Dst(src, n int, rng *sim.RNG) int {
+	d := n - 1 - src
+	if d == src {
+		return Uniform{}.Dst(src, n, rng)
+	}
+	return d
+}
+
+// BitReverse sends terminal i to the terminal whose index is i with
+// its log2(n) low bits reversed. n must be a power of two.
+type BitReverse struct{}
+
+func (BitReverse) Name() string { return "bitrev" }
+
+func (BitReverse) Dst(src, n int, rng *sim.RNG) int {
+	w := bits.Len(uint(n)) - 1
+	d := int(bits.Reverse(uint(src)) >> (bits.UintSize - w))
+	if d == src {
+		return Uniform{}.Dst(src, n, rng)
+	}
+	return d
+}
+
+// Shuffle sends terminal i to terminal rotate-left-1(i) within
+// log2(n) bits. n must be a power of two.
+type Shuffle struct{}
+
+func (Shuffle) Name() string { return "shuffle" }
+
+func (Shuffle) Dst(src, n int, rng *sim.RNG) int {
+	w := bits.Len(uint(n)) - 1
+	d := ((src << 1) | (src >> (w - 1))) & (n - 1)
+	if d == src {
+		return Uniform{}.Dst(src, n, rng)
+	}
+	return d
+}
+
+// Hotspot sends a fraction of traffic to a small set of hot terminals
+// and the remainder uniformly.
+type Hotspot struct {
+	// Hot lists the hotspot terminals.
+	Hot []int
+	// Fraction of packets targeting a hotspot (e.g. 0.2).
+	Fraction float64
+}
+
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot%.0f%%", h.Fraction*100) }
+
+func (h Hotspot) Dst(src, n int, rng *sim.RNG) int {
+	if len(h.Hot) > 0 && rng.Bernoulli(h.Fraction) {
+		d := h.Hot[rng.Intn(len(h.Hot))]
+		if d != src {
+			return d
+		}
+	}
+	return Uniform{}.Dst(src, n, rng)
+}
+
+// Tornado sends each packet halfway around a ring of n terminals
+// (classic adversarial torus pattern).
+type Tornado struct{}
+
+func (Tornado) Name() string { return "tornado" }
+
+func (Tornado) Dst(src, n int, rng *sim.RNG) int {
+	d := (src + n/2 - 1 + n%2) % n
+	if d == src {
+		return Uniform{}.Dst(src, n, rng)
+	}
+	return d
+}
+
+// Neighbor sends to the next terminal in row-major order (nearest
+// neighbour, minimal load).
+type Neighbor struct{}
+
+func (Neighbor) Name() string { return "neighbor" }
+
+func (Neighbor) Dst(src, n int, rng *sim.RNG) int {
+	return (src + 1) % n
+}
+
+// ByName returns the pattern registered under name for an n-terminal
+// network whose grid side is side; it returns an error for unknown
+// names.
+func ByName(name string, n, side int) (Pattern, error) {
+	switch name {
+	case "uniform":
+		return Uniform{}, nil
+	case "transpose":
+		return Transpose{Side: side}, nil
+	case "bitcomp":
+		return BitComplement{}, nil
+	case "bitrev":
+		return BitReverse{}, nil
+	case "shuffle":
+		return Shuffle{}, nil
+	case "tornado":
+		return Tornado{}, nil
+	case "neighbor":
+		return Neighbor{}, nil
+	case "hotspot":
+		return Hotspot{Hot: []int{n / 2}, Fraction: 0.2}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}
+
+// Names lists the registered pattern names.
+func Names() []string {
+	return []string{"uniform", "transpose", "bitcomp", "bitrev", "shuffle", "tornado", "neighbor", "hotspot"}
+}

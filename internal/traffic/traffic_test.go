@@ -1,0 +1,148 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/noc"
+	"repro/internal/noc/topology"
+	"repro/internal/sim"
+)
+
+func rng() *sim.RNG { return sim.NewRNG(3, 5) }
+
+// Property shared by every pattern: destinations are in range and
+// never equal the source.
+func TestPatternsValidDestinations(t *testing.T) {
+	const n, side = 64, 8
+	for _, name := range Names() {
+		p, err := ByName(name, n, side)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r := rng()
+		for src := 0; src < n; src++ {
+			for trial := 0; trial < 20; trial++ {
+				d := p.Dst(src, n, r)
+				if d < 0 || d >= n {
+					t.Fatalf("%s: dst %d out of range", name, d)
+				}
+				if d == src {
+					t.Fatalf("%s: self-destination from %d", name, src)
+				}
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 64, 8); err == nil {
+		t.Fatal("unknown pattern should error")
+	}
+}
+
+func TestTransposeMapping(t *testing.T) {
+	p := Transpose{Side: 4}
+	// (x=1, y=2) = terminal 9 -> (x=2, y=1) = terminal 6.
+	if d := p.Dst(9, 16, rng()); d != 6 {
+		t.Errorf("transpose(9) = %d, want 6", d)
+	}
+	// Diagonal falls back to uniform (not self).
+	if d := p.Dst(5, 16, rng()); d == 5 {
+		t.Error("diagonal transpose returned self")
+	}
+}
+
+func TestBitPatterns(t *testing.T) {
+	if d := (BitComplement{}).Dst(3, 16, rng()); d != 12 {
+		t.Errorf("bitcomp(3) = %d, want 12", d)
+	}
+	// 16 terminals, 4 bits: 0b0001 reversed = 0b1000.
+	if d := (BitReverse{}).Dst(1, 16, rng()); d != 8 {
+		t.Errorf("bitrev(1) = %d, want 8", d)
+	}
+	// shuffle: rotate-left-1 within 4 bits: 0b1001 -> 0b0011.
+	if d := (Shuffle{}).Dst(9, 16, rng()); d != 3 {
+		t.Errorf("shuffle(9) = %d, want 3", d)
+	}
+}
+
+func TestTornadoHalfway(t *testing.T) {
+	if d := (Tornado{}).Dst(0, 16, rng()); d != 7 {
+		t.Errorf("tornado(0) = %d, want 7", d)
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	h := Hotspot{Hot: []int{5}, Fraction: 0.5}
+	r := rng()
+	hot := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if h.Dst(0, 64, r) == 5 {
+			hot++
+		}
+	}
+	// ~50% plus the uniform background's 1/63.
+	if hot < trials*4/10 || hot > trials*6/10 {
+		t.Errorf("hotspot share %d/%d far from configured fraction", hot, trials)
+	}
+}
+
+func TestGeneratorDeterministicEmission(t *testing.T) {
+	collect := func() []noc.Packet {
+		g := Generator{Pattern: Uniform{}, Rate: 0.3, Terminals: 16, VNets: 3, Seed: 9}
+		var out []noc.Packet
+		for cyc := 0; cyc < 50; cyc++ {
+			g.Emit(sim.Cycle(cyc), func(p *noc.Packet) { out = append(out, *p) })
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 {
+		t.Fatal("generator emitted nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic emission: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorRateProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := Generator{Pattern: Uniform{}, Rate: 0.2, Terminals: 32, Seed: seed}
+		total := 0
+		for cyc := 0; cyc < 200; cyc++ {
+			total += g.Emit(sim.Cycle(cyc), func(*noc.Packet) {})
+		}
+		// Expected 0.2*32*200 = 1280; allow generous slack.
+		return total > 1000 && total < 1600
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOpenLoopDrains(t *testing.T) {
+	m := topology.NewMesh(4, 4, 1)
+	net, err := noc.New(noc.DefaultConfig(), m, topology.NewXY(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	g := Generator{Pattern: Transpose{Side: 4}, Rate: 0.1, Seed: 4}
+	tr := g.RunOpenLoop(net, 100, 400, 20000)
+	if tr.Count() == 0 {
+		t.Fatal("no packets measured")
+	}
+	if !net.Quiescent() {
+		t.Error("network did not drain")
+	}
+	if tr.Mean() <= 0 {
+		t.Errorf("mean latency %v", tr.Mean())
+	}
+}

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// transposePeer maps core c to its transpose partner on the square
+// core grid (FFT all-to-all signature).
+func transposePeer(core, cores int) int {
+	side := 1
+	for side*side < cores {
+		side++
+	}
+	if side*side != cores {
+		return cores - 1 - core
+	}
+	x, y := core%side, core/side
+	return x*side + y
+}
+
+// NewFFT returns a transpose-heavy kernel: barrier-separated phases in
+// which each core streams through its transpose partner's owned
+// region — the classic all-to-all butterfly traffic.
+func NewFFT(cores, ops int, seed uint64) *Synthetic {
+	return &Synthetic{
+		Name: "fft", Cores: cores, OpsPerCore: ops, Seed: seed,
+		ComputeMean: 2, LoadFrac: 0.45, StoreFrac: 0.45, AtomicFrac: 0,
+		BarrierEvery: ops / 8, PrivateLines: 512, SharedLines: 0,
+		Addr: func(s *Synthetic, core int, rng *sim.RNG) uint64 {
+			if rng.Bernoulli(0.55) {
+				return privateLine(s, core, rng)
+			}
+			if s.Phase(core)%2 == 0 {
+				return ownedLine(core, rng)
+			}
+			return ownedLine(transposePeer(core, s.Cores), rng)
+		},
+	}
+}
+
+// NewLU returns a pivot-broadcast kernel: all cores read a small hot
+// pivot region owned by the phase leader, plus private block updates.
+func NewLU(cores, ops int, seed uint64) *Synthetic {
+	return &Synthetic{
+		Name: "lu", Cores: cores, OpsPerCore: ops, Seed: seed,
+		ComputeMean: 4, LoadFrac: 0.6, StoreFrac: 0.35, AtomicFrac: 0,
+		BarrierEvery: ops / 8, PrivateLines: 512,
+		Addr: func(s *Synthetic, core int, rng *sim.RNG) uint64 {
+			if rng.Bernoulli(0.3) {
+				// Pivot row of the current phase's leader: read-shared
+				// broadcast traffic converging on one region.
+				leader := s.Phase(core) % s.Cores
+				return ownedBase + uint64(leader)*ownedLines + uint64(rng.Intn(32))
+			}
+			return privateLine(s, core, rng)
+		},
+	}
+}
+
+// NewBarnes returns an irregular-sharing kernel: mostly-private tree
+// walks with scattered reads of uniformly random other cores' regions.
+func NewBarnes(cores, ops int, seed uint64) *Synthetic {
+	return &Synthetic{
+		Name: "barnes", Cores: cores, OpsPerCore: ops, Seed: seed,
+		ComputeMean: 6, LoadFrac: 0.65, StoreFrac: 0.25, AtomicFrac: 0.02,
+		BarrierEvery: ops / 4, PrivateLines: 1024, HotLines: 4,
+		Addr: func(s *Synthetic, core int, rng *sim.RNG) uint64 {
+			if rng.Bernoulli(0.6) {
+				return privateLine(s, core, rng)
+			}
+			return ownedLine(rng.Intn(s.Cores), rng)
+		},
+	}
+}
+
+// NewOcean returns a nearest-neighbour stencil kernel: each core
+// updates its own grid partition and reads boundary lines of its mesh
+// neighbours, with tight barrier phases.
+func NewOcean(cores, ops int, seed uint64) *Synthetic {
+	side := 1
+	for side*side < cores {
+		side++
+	}
+	return &Synthetic{
+		Name: "ocean", Cores: cores, OpsPerCore: ops, Seed: seed,
+		ComputeMean: 3, LoadFrac: 0.55, StoreFrac: 0.4, AtomicFrac: 0,
+		BarrierEvery: ops / 16, PrivateLines: 768,
+		Addr: func(s *Synthetic, core int, rng *sim.RNG) uint64 {
+			if rng.Bernoulli(0.7) {
+				return ownedLine(core, rng)
+			}
+			// Boundary exchange with a grid neighbour.
+			x, y := core%side, core/side
+			var nb int
+			switch rng.Intn(4) {
+			case 0:
+				nb = y*side + (x+1)%side
+			case 1:
+				nb = y*side + (x+side-1)%side
+			case 2:
+				nb = ((y+1)%side)*side + x
+			default:
+				nb = ((y+side-1)%side)*side + x
+			}
+			if nb >= s.Cores {
+				nb = core
+			}
+			return ownedLine(nb, rng)
+		},
+	}
+}
+
+// NewRadix returns a scatter kernel: histogram phases with atomic
+// bucket counters followed by permutation writes to uniformly random
+// remote regions — heavy, bursty all-to-all stores.
+func NewRadix(cores, ops int, seed uint64) *Synthetic {
+	return &Synthetic{
+		Name: "radix", Cores: cores, OpsPerCore: ops, Seed: seed,
+		ComputeMean: 1, LoadFrac: 0.3, StoreFrac: 0.55, AtomicFrac: 0.1,
+		BarrierEvery: ops / 4, PrivateLines: 256, HotLines: 16,
+		Addr: func(s *Synthetic, core int, rng *sim.RNG) uint64 {
+			if rng.Bernoulli(0.35) {
+				return privateLine(s, core, rng)
+			}
+			return ownedLine(rng.Intn(s.Cores), rng)
+		},
+	}
+}
+
+// NewWater returns a migratory-sharing kernel: small records (molecule
+// pairs) updated by different cores in turn via atomics — ownership
+// bounces tile to tile.
+func NewWater(cores, ops int, seed uint64) *Synthetic {
+	return &Synthetic{
+		Name: "water", Cores: cores, OpsPerCore: ops, Seed: seed,
+		ComputeMean: 5, LoadFrac: 0.5, StoreFrac: 0.3, AtomicFrac: 0.12,
+		BarrierEvery: ops / 4, PrivateLines: 512, HotLines: 64,
+		Addr: func(s *Synthetic, core int, rng *sim.RNG) uint64 {
+			if rng.Bernoulli(0.55) {
+				return privateLine(s, core, rng)
+			}
+			// Molecule records shared with a nearby core.
+			peer := (core + 1 + rng.Intn(3)) % s.Cores
+			return ownedLine(peer, rng)
+		},
+	}
+}
+
+// NewRaytrace returns a read-mostly kernel: a large shared scene read
+// by everyone, with private stacks — mostly DataS broadcast traffic.
+func NewRaytrace(cores, ops int, seed uint64) *Synthetic {
+	return &Synthetic{
+		Name: "raytrace", Cores: cores, OpsPerCore: ops, Seed: seed,
+		ComputeMean: 4, LoadFrac: 0.8, StoreFrac: 0.15, AtomicFrac: 0.01,
+		BarrierEvery: 0, PrivateLines: 512, SharedLines: 4096, HotLines: 2,
+		Addr: func(s *Synthetic, core int, rng *sim.RNG) uint64 {
+			if rng.Bernoulli(0.5) {
+				return privateLine(s, core, rng)
+			}
+			return sharedBase + uint64(rng.Intn(s.SharedLines))
+		},
+	}
+}
+
+// NewCanneal returns a random-swap kernel: loads and stores to
+// uniformly random shared lines with minimal compute — the cache- and
+// network-hostile pattern.
+func NewCanneal(cores, ops int, seed uint64) *Synthetic {
+	return &Synthetic{
+		Name: "canneal", Cores: cores, OpsPerCore: ops, Seed: seed,
+		ComputeMean: 1, LoadFrac: 0.5, StoreFrac: 0.45, AtomicFrac: 0,
+		BarrierEvery: 0, PrivateLines: 128, SharedLines: 8192,
+		Addr: func(s *Synthetic, core int, rng *sim.RNG) uint64 {
+			if rng.Bernoulli(0.25) {
+				return privateLine(s, core, rng)
+			}
+			return sharedBase + uint64(rng.Intn(s.SharedLines))
+		},
+	}
+}
+
+// Names lists the kernels in canonical experiment order.
+func Names() []string {
+	return []string{"fft", "lu", "barnes", "ocean", "radix", "water", "raytrace", "canneal"}
+}
+
+// ByName constructs the named kernel for the given core count, per-core
+// memory-op budget, and seed.
+func ByName(name string, cores, ops int, seed uint64) (*Synthetic, error) {
+	switch name {
+	case "fft":
+		return NewFFT(cores, ops, seed), nil
+	case "lu":
+		return NewLU(cores, ops, seed), nil
+	case "barnes":
+		return NewBarnes(cores, ops, seed), nil
+	case "ocean":
+		return NewOcean(cores, ops, seed), nil
+	case "radix":
+		return NewRadix(cores, ops, seed), nil
+	case "water":
+		return NewWater(cores, ops, seed), nil
+	case "raytrace":
+		return NewRaytrace(cores, ops, seed), nil
+	case "canneal":
+		return NewCanneal(cores, ops, seed), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown kernel %q", name)
+	}
+}

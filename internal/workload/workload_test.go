@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/fullsys"
+	"repro/internal/sim"
+)
+
+// drainOps pulls a core's full op stream (bounded) and returns it.
+func drainOps(t *testing.T, wl *Synthetic, core, limit int) []fullsys.Op {
+	t.Helper()
+	var ops []fullsys.Op
+	for i := 0; i < limit; i++ {
+		op := wl.Next(core)
+		ops = append(ops, op)
+		if op.Kind == fullsys.OpHalt {
+			return ops
+		}
+	}
+	t.Fatalf("core %d did not halt within %d ops", core, limit)
+	return nil
+}
+
+func TestAllKernelsTerminateAndBudget(t *testing.T) {
+	const cores, budget = 8, 100
+	for _, name := range Names() {
+		wl, err := ByName(name, cores, budget, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for c := 0; c < cores; c++ {
+			ops := drainOps(t, wl, c, 10000)
+			memOps := 0
+			for _, op := range ops {
+				switch op.Kind {
+				case fullsys.OpLoad, fullsys.OpStore, fullsys.OpAtomic:
+					memOps++
+				}
+			}
+			if memOps != budget {
+				t.Errorf("%s core %d: %d memory ops, want %d", name, c, memOps, budget)
+			}
+			// The stream must end with the final barrier then halt.
+			last := ops[len(ops)-1]
+			if last.Kind != fullsys.OpHalt {
+				t.Errorf("%s: stream does not end in halt", name)
+			}
+			foundFinalBarrier := false
+			for _, op := range ops {
+				if op.Kind == fullsys.OpBarrier && op.Arg == 1<<62 {
+					foundFinalBarrier = true
+				}
+			}
+			if !foundFinalBarrier {
+				t.Errorf("%s: missing final barrier", name)
+			}
+			// Halt must repeat once reached.
+			if wl.Next(c).Kind != fullsys.OpHalt {
+				t.Errorf("%s: halt not sticky", name)
+			}
+		}
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	mk := func() []fullsys.Op {
+		wl := NewRadix(4, 50, 99)
+		var all []fullsys.Op
+		for c := 0; c < 4; c++ {
+			for {
+				op := wl.Next(c)
+				all = append(all, op)
+				if op.Kind == fullsys.OpHalt {
+					break
+				}
+			}
+		}
+		return all
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamsIndependentOfObserve(t *testing.T) {
+	// Timing-independence: interleaving Next calls across cores in any
+	// order, with arbitrary Observe calls, must not change each core's
+	// own stream — the property that lets the same workload drive
+	// different network abstractions.
+	wlA := NewOcean(2, 50, 3)
+	wlB := NewOcean(2, 50, 3)
+	var seqA []fullsys.Op
+	for {
+		op := wlA.Next(0)
+		seqA = append(seqA, op)
+		if op.Kind == fullsys.OpHalt {
+			break
+		}
+	}
+	var seqB []fullsys.Op
+	i := 0
+	for {
+		// Interleave with core 1 and noisy observations.
+		if i%3 == 0 {
+			wlB.Next(1)
+			wlB.Observe(1, 0x1234, uint64(i))
+		}
+		op := wlB.Next(0)
+		seqB = append(seqB, op)
+		if op.Kind == fullsys.OpHalt {
+			break
+		}
+		i++
+	}
+	if len(seqA) != len(seqB) {
+		t.Fatalf("stream lengths differ under interleaving: %d vs %d", len(seqA), len(seqB))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("op %d differs under interleaving", i)
+		}
+	}
+}
+
+func TestAddressRegionsDisjoint(t *testing.T) {
+	// Private regions of different cores must never collide, and all
+	// regions must stay within their bases, even at 512 cores.
+	const cores = 512
+	wl := NewCanneal(cores, 20, 5)
+	seen := map[uint64]int{} // private line -> owning core
+	for c := 0; c < cores; c++ {
+		for {
+			op := wl.Next(c)
+			if op.Kind == fullsys.OpHalt {
+				break
+			}
+			if op.Kind != fullsys.OpLoad && op.Kind != fullsys.OpStore && op.Kind != fullsys.OpAtomic {
+				continue
+			}
+			line := fullsys.LineOf(op.Addr)
+			if line >= privateBase {
+				if prev, ok := seen[line]; ok && prev != c {
+					t.Fatalf("private line %#x used by cores %d and %d", line, prev, c)
+				}
+				seen[line] = c
+			}
+			if line >= ownedBase && line < privateBase {
+				owner := int(line-ownedBase) / ownedLines
+				if owner < 0 || owner >= cores {
+					t.Fatalf("owned line %#x maps to core %d", line, owner)
+				}
+			}
+		}
+	}
+}
+
+func TestTransposePeer(t *testing.T) {
+	// 16 cores, side 4: core 1 = (1,0) <-> core 4 = (0,1).
+	if got := transposePeer(1, 16); got != 4 {
+		t.Errorf("transposePeer(1,16) = %d, want 4", got)
+	}
+	if got := transposePeer(4, 16); got != 1 {
+		t.Errorf("transposePeer(4,16) = %d, want 1", got)
+	}
+	// Non-square core counts fall back to complement.
+	if got := transposePeer(0, 12); got != 11 {
+		t.Errorf("transposePeer(0,12) = %d, want 11", got)
+	}
+}
+
+func TestFFTPhaseAlternation(t *testing.T) {
+	wl := NewFFT(16, 200, 1)
+	sawRemote := false
+	for c := 0; c < 16; c++ {
+		for {
+			op := wl.Next(c)
+			if op.Kind == fullsys.OpHalt {
+				break
+			}
+			if op.Kind == fullsys.OpLoad || op.Kind == fullsys.OpStore {
+				line := fullsys.LineOf(op.Addr)
+				if line >= ownedBase && line < privateBase {
+					owner := int(line-ownedBase) / ownedLines
+					if owner != c {
+						sawRemote = true
+					}
+				}
+			}
+		}
+	}
+	if !sawRemote {
+		t.Error("fft never touched a transpose partner's region")
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nope", 4, 10, 1); err == nil {
+		t.Fatal("unknown kernel should error")
+	}
+	if len(Names()) != 8 {
+		t.Errorf("expected 8 kernels, got %d", len(Names()))
+	}
+	for _, n := range Names() {
+		if _, err := ByName(n, 4, 10, 1); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero cores")
+		}
+	}()
+	wl := &Synthetic{Name: "bad", Cores: 0, OpsPerCore: 10,
+		Addr: func(*Synthetic, int, *sim.RNG) uint64 { return 0 }}
+	wl.Next(0)
+}
