@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test lint race simcheck premerge
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Static pre-merge gate: the stock vet passes plus simlint, the
+# determinism lint (see DESIGN.md "Determinism contract"). simlint is
+# stdlib-only, so this needs nothing beyond the toolchain.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/simlint ./...
+
+# Dynamic pre-merge gates: the race detector across the whole module,
+# and the simcheck build, which arms sim.Assert and the event-queue
+# self-checks (schedule-into-the-past, heap invariant).
+race:
+	$(GO) test -race ./...
+
+simcheck:
+	$(GO) test -tags simcheck ./...
+
+# Everything a PR must pass.
+premerge: build lint test race simcheck

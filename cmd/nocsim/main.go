@@ -86,9 +86,9 @@ func main() {
 			fatal(err)
 		}
 		gen := traffic.Generator{Pattern: pat, Rate: rate, Seed: *seed}
-		start := time.Now()
+		start := time.Now() //simlint:allow wallclock host speed measurement around the run, outside simulated state
 		tr := gen.RunOpenLoop(net, *warmup, *cycles, 50000)
-		wall := time.Since(start)
+		wall := time.Since(start) //simlint:allow wallclock host speed measurement around the run, outside simulated state
 		if lastNet != nil {
 			lastNet.Close()
 		}
@@ -147,9 +147,9 @@ func replayTrace(path string, side, vcs, depth int, routing string, workers int,
 		fatal(err)
 	}
 	defer net.Close()
-	start := time.Now()
+	start := time.Now() //simlint:allow wallclock host speed measurement around the run, outside simulated state
 	tr := core.Replay(trace, net, 1_000_000)
-	wall := time.Since(start)
+	wall := time.Since(start) //simlint:allow wallclock host speed measurement around the run, outside simulated state
 	t := stats.NewTable(fmt.Sprintf("nocsim replay: %d packets from %s", len(trace), path),
 		"avg-lat", "net-lat", "queue-lat", "p95", "avg-hops", "link-util", "wall-ms")
 	t.AddRow(tr.Mean(), tr.MeanNetwork(), tr.MeanQueueing(), tr.Percentile(0.95),

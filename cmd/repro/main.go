@@ -59,7 +59,7 @@ func main() {
 
 	for _, e := range exps {
 		fmt.Printf("### %s — %s (scale=%s)\n", e.ID, e.Title, *scale)
-		start := time.Now()
+		start := time.Now() //simlint:allow wallclock CLI progress timing around the run, outside simulated state
 		tables := e.Run(s)
 		for _, tb := range tables {
 			var err error
@@ -76,7 +76,7 @@ func main() {
 			}
 			fmt.Println()
 		}
-		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond)) //simlint:allow wallclock CLI progress timing around the run, outside simulated state
 	}
 }
 

@@ -40,7 +40,8 @@ type Backend interface {
 	// source must be in nondecreasing time order.
 	Inject(p *noc.Packet, at sim.Cycle)
 	// AdvanceTo simulates through the end of cycle c-1 so that
-	// deliveries with DeliveredAt <= c-1 are available (abstract
+	// deliveries with DeliveredAt <= c are available — a tail flit
+	// switched during cycle c-1 reaches its NI at c (abstract
 	// backends simply move their clock).
 	AdvanceTo(c sim.Cycle)
 	// Drain returns newly available deliveries (slice reused).

@@ -112,13 +112,24 @@ func (c *Cosim) Cycle() sim.Cycle { return c.cycle }
 // has completed.
 func (c *Cosim) Step() bool {
 	end := c.cycle + sim.Cycle(c.Quantum)
-	t0 := time.Now()
+	t0 := time.Now() //simlint:allow wallclock host-time split between the two simulators, never fed back into simulated state
 	for t := c.cycle; t < end; t++ {
 		c.Sys.Tick(t)
 	}
-	t1 := time.Now()
+	t1 := time.Now() //simlint:allow wallclock host-time split between the two simulators, never fed back into simulated state
 	c.Net.AdvanceTo(end)
 	for _, p := range c.Net.Drain() {
+		// Quantum-boundary invariants (compiled in under -tags
+		// simcheck): a backend advanced to `end` may only surface
+		// deliveries up to the boundary (a tail switched in cycle
+		// end-1 reaches the NI at end), and never before the packet
+		// existed.
+		sim.Assert(p.DeliveredAt <= end,
+			"backend %q delivered %v at %v, past the quantum boundary %v",
+			c.Net.Name(), p, p.DeliveredAt, end)
+		sim.Assert(p.DeliveredAt >= p.CreatedAt,
+			"backend %q delivered %v at %v before its creation at %v",
+			c.Net.Name(), p, p.DeliveredAt, p.CreatedAt)
 		now := end - 1
 		if p.DeliveredAt < now {
 			c.skewSum += uint64(now - p.DeliveredAt)
@@ -129,7 +140,7 @@ func (c *Cosim) Step() bool {
 		c.delivered++
 		c.Sys.Deliver(p.Payload.(fullsys.Msg), p.DeliveredAt)
 	}
-	c.netWall += time.Since(t1)
+	c.netWall += time.Since(t1) //simlint:allow wallclock host-time split between the two simulators, never fed back into simulated state
 	c.sysWall += t1.Sub(t0)
 	c.cycle = end
 	return !c.Sys.Done()

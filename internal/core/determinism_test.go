@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fullsys"
+	"repro/internal/noc"
+	"repro/internal/noc/topology"
+	"repro/internal/workload"
+)
+
+// cosimFingerprint runs one seeded FFT workload through the full
+// co-simulation path (fullsys + Cosim + the chosen backend) and
+// summarizes every externally observable outcome. Floating-point
+// values are formatted with %x so the comparison is bit-exact: the
+// accuracy experiments (C1-C3) are only meaningful if this string is
+// identical run to run. Mirrors internal/noc/determinism_test.go for
+// the system half of the coupling.
+func cosimFingerprint(t *testing.T, seed uint64, quantum int, backend func(t *testing.T) Backend) string {
+	t.Helper()
+	wl := workload.NewFFT(16, 250, seed)
+	cs, err := Build(fullsys.DefaultConfig(16), wl, backend(t), quantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cs.Run(2_000_000)
+	if !res.Finished {
+		t.Fatalf("workload did not finish: %+v", res)
+	}
+	hits, misses := cs.Sys.L1Stats()
+	return fmt.Sprintf(
+		"exec=%d retired=%d pkts=%d lat=%x netlat=%x p95=%x hops=%x skew=%x maxskew=%d msgs=%d flits=%d local=%d l1=%d/%d",
+		res.ExecCycles, res.Retired, res.Packets,
+		res.AvgLatency, res.AvgNetLatency, res.P95Latency, res.AvgHops,
+		res.AvgSkew, res.MaxSkew,
+		cs.Sys.MsgsSent(), cs.Sys.FlitsSent(), cs.Sys.LocalMsgs(), hits, misses)
+}
+
+func detailedMeshBackend(t *testing.T) Backend {
+	t.Helper()
+	m := topology.NewMesh(4, 4, 1)
+	net, err := noc.New(noc.DefaultConfig(), m, topology.NewXY(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	return NewDetailed(net)
+}
+
+// TestCosimDeterministic is the full-system determinism regression:
+// the same seeded workload through a freshly built system + detailed
+// NoC must produce a bit-identical outcome, at both the synchronous
+// ground-truth quantum and a batched quantum.
+func TestCosimDeterministic(t *testing.T) {
+	for _, quantum := range []int{1, 8} {
+		quantum := quantum
+		t.Run(fmt.Sprintf("detailed/q%d", quantum), func(t *testing.T) {
+			a := cosimFingerprint(t, 42, quantum, detailedMeshBackend)
+			b := cosimFingerprint(t, 42, quantum, detailedMeshBackend)
+			if a != b {
+				t.Errorf("co-simulation diverged between identical runs\nrun1: %s\nrun2: %s", a, b)
+			}
+		})
+	}
+	t.Run("abstract/q8", func(t *testing.T) {
+		a := cosimFingerprint(t, 42, 8, func(t *testing.T) Backend { return abstractBackend() })
+		b := cosimFingerprint(t, 42, 8, func(t *testing.T) Backend { return abstractBackend() })
+		if a != b {
+			t.Errorf("abstract co-simulation diverged\nrun1: %s\nrun2: %s", a, b)
+		}
+	})
+}
+
+// TestCosimFingerprintSensitive guards the guard: a different seed
+// must change the fingerprint, otherwise TestCosimDeterministic would
+// vacuously pass.
+func TestCosimFingerprintSensitive(t *testing.T) {
+	a := cosimFingerprint(t, 42, 8, detailedMeshBackend)
+	b := cosimFingerprint(t, 43, 8, detailedMeshBackend)
+	if a == b {
+		t.Error("fingerprint identical across different seeds; it is not observing the run")
+	}
+}

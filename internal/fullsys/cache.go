@@ -170,6 +170,7 @@ func (b *l2Bank) put(line uint64, value uint64, dirty bool) (evictedLine uint64,
 	if len(b.lines) >= b.capacity {
 		var victim uint64
 		var oldest uint64 = ^uint64(0)
+		//simlint:allow maprange min scan with a total-order tie-break on (lru, line), so iteration order cannot change the victim
 		for ln, l := range b.lines {
 			if l.lru < oldest || (l.lru == oldest && ln < victim) {
 				oldest = l.lru

@@ -2,6 +2,7 @@ package fullsys
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dram"
 	"repro/internal/sim"
@@ -265,7 +266,16 @@ func (s *System) CheckCoherence() error {
 			}
 		}
 	}
-	for line, hs := range lines {
+	// Check lines in sorted order so the reported first violation is
+	// the same on every run.
+	sorted := make([]uint64, 0, len(lines))
+	//simlint:allow maprange keys collected here are sorted before use
+	for line := range lines {
+		sorted = append(sorted, line)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, line := range sorted {
+		hs := lines[line]
 		writers := 0
 		for _, h := range hs {
 			if h.state >= l1Exclusive {
@@ -309,8 +319,8 @@ func (s *System) StatsTable(title string) *stats.Table {
 		fmt.Sprintf("%d / %d / %d / %d", compute, loadStall, barStall, sbStall))
 	t.AddRow("network messages (flits)", fmt.Sprintf("%d (%d)", s.msgsSent, s.flitsSent))
 	var reqs, resps, fwds uint64
-	for typ, c := range s.MsgsByType() {
-		switch typ.VNet() {
+	for typ, c := range s.msgsByType { // fixed-size array: deterministic order
+		switch MsgType(typ).VNet() {
 		case 0:
 			reqs += c
 		case 1:

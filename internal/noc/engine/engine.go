@@ -10,6 +10,8 @@
 // is what lets the same router model run on the sequential CPU path
 // and on the (simulated) GPU coprocessor path while staying
 // bit-identical. Tests assert that equivalence.
+//
+//simlint:allow-file concurrency this package IS the sanctioned parallelism: a fixed worker pool whose bit-identity to the sequential engine is asserted by determinism tests
 package engine
 
 import "sync"

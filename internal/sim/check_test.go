@@ -1,0 +1,91 @@
+//go:build simcheck
+
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing
+// the test if fn returns normally.
+func mustPanic(t *testing.T, fn func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic, got none")
+		}
+		m, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want string", r, r)
+		}
+		msg = m
+	}()
+	fn()
+	return ""
+}
+
+// TestSchedulePastPanics: once an event has fired, scheduling before
+// its cycle is time travel and must panic under simcheck.
+func TestSchedulePastPanics(t *testing.T) {
+	var q EventQueue
+	q.Schedule(10, func() {})
+	if n := q.RunUntil(10); n != 1 {
+		t.Fatalf("fired %d, want 1", n)
+	}
+	msg := mustPanic(t, func() { q.Schedule(5, func() {}) })
+	if !strings.Contains(msg, "schedule into the past") {
+		t.Errorf("panic message %q", msg)
+	}
+}
+
+// TestSchedulePastAllowedBeforeFirstFire: the watermark only arms once
+// an event has actually fired; arbitrary schedule order before that is
+// fine (construction time).
+func TestSchedulePastAllowedBeforeFirstFire(t *testing.T) {
+	var q EventQueue
+	q.Schedule(10, func() {})
+	q.Schedule(2, func() {}) // earlier than a pending event: legal
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+// TestAssertArmed: sim.Assert panics with the formatted message under
+// simcheck.
+func TestAssertArmed(t *testing.T) {
+	if !Checking {
+		t.Fatal("Checking must be true under -tags simcheck")
+	}
+	Assert(true, "no panic on true")
+	msg := mustPanic(t, func() { Assert(false, "quantum %d", 7) })
+	if !strings.Contains(msg, "quantum 7") {
+		t.Errorf("panic message %q", msg)
+	}
+}
+
+// TestHeapCheckPassesUnderLoad: exercise schedule/cancel/pop mixes so
+// debugHeap's O(n) verification sweeps real shapes.
+func TestHeapCheckPassesUnderLoad(t *testing.T) {
+	var q EventQueue
+	rng := NewRNG(7, 7)
+	var live []*Event
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			live = append(live, q.Schedule(q.watermark+Cycle(rng.Intn(50)), func() {}))
+		case 2:
+			if len(live) > 0 {
+				k := rng.Intn(len(live))
+				q.Cancel(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		if i%17 == 0 {
+			q.Pop()
+		}
+	}
+	for q.Pop() != nil {
+	}
+}

@@ -13,9 +13,19 @@ type Event struct {
 
 // EventQueue is a binary-heap priority queue of events ordered by
 // (cycle, insertion sequence). The zero value is an empty queue.
+//
+// Under the simcheck build tag the queue self-verifies: scheduling
+// before the cycle of an already-fired event panics, and the heap
+// invariant is re-checked after every mutation (see check_on.go).
 type EventQueue struct {
 	heap []*Event
 	seq  uint64
+
+	// watermark is the cycle of the latest popped event; fired marks it
+	// valid. Maintained unconditionally (two stores), consulted only by
+	// simcheck builds.
+	watermark Cycle
+	fired     bool
 }
 
 // Len reports the number of pending events.
@@ -24,11 +34,13 @@ func (q *EventQueue) Len() int { return len(q.heap) }
 // Schedule enqueues fn to fire at cycle when and returns the event,
 // which the caller may later Cancel.
 func (q *EventQueue) Schedule(when Cycle, fn func()) *Event {
+	q.debugSchedule(when)
 	e := &Event{When: when, Fire: fn, seq: q.seq}
 	q.seq++
 	e.index = len(q.heap)
 	q.heap = append(q.heap, e)
 	q.up(e.index)
+	q.debugHeap()
 	return e
 }
 
@@ -47,6 +59,7 @@ func (q *EventQueue) Cancel(e *Event) {
 		q.up(i)
 	}
 	e.index = -1
+	q.debugHeap()
 }
 
 // NextTime reports the cycle of the earliest pending event; ok is false
@@ -71,6 +84,9 @@ func (q *EventQueue) Pop() *Event {
 		q.down(0)
 	}
 	e.index = -1
+	q.watermark = e.When
+	q.fired = true
+	q.debugHeap()
 	return e
 }
 

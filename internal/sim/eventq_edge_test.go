@@ -1,0 +1,83 @@
+package sim
+
+import "testing"
+
+// TestCancelOnZeroValue: cancelling nil, a never-scheduled event, or
+// an event against an empty queue must all be safe no-ops.
+func TestCancelOnZeroValue(t *testing.T) {
+	var q EventQueue
+	q.Cancel(nil)
+	q.Cancel(&Event{})
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after no-op cancels", q.Len())
+	}
+	// A foreign event whose index aliases a live slot must not evict
+	// the real occupant.
+	e := q.Schedule(5, func() {})
+	q.Cancel(&Event{}) // index 0 aliases e's slot
+	if q.Len() != 1 {
+		t.Fatalf("foreign cancel evicted a live event; len = %d", q.Len())
+	}
+	q.Cancel(e)
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after real cancel", q.Len())
+	}
+}
+
+// TestCancelThenReschedule: a cancelled event never fires, re-cancel
+// is a no-op, and later schedules still fire in (cycle, seq) order.
+func TestCancelThenReschedule(t *testing.T) {
+	var q EventQueue
+	var order []int
+	mk := func(id int) func() { return func() { order = append(order, id) } }
+
+	e1 := q.Schedule(10, mk(1))
+	q.Schedule(20, mk(2))
+	q.Cancel(e1)
+	q.Cancel(e1) // already cancelled: no-op
+	q.Schedule(5, mk(3))
+	q.Schedule(20, mk(4)) // same cycle as 2: insertion order breaks the tie
+
+	if n := q.RunUntil(30); n != 3 {
+		t.Fatalf("fired %d events, want 3", n)
+	}
+	want := []int{3, 2, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// Cancelling an already-fired event is a no-op too.
+	q.Cancel(e1)
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after drain", q.Len())
+	}
+}
+
+// TestScheduleAtWatermarkAllowed: scheduling AT the cycle of the most
+// recently fired event is legal (delivery at the current cycle is how
+// the co-sim hands messages back); only strictly-past schedules are a
+// contract violation (and only simcheck builds enforce it).
+func TestScheduleAtWatermarkAllowed(t *testing.T) {
+	var q EventQueue
+	q.Schedule(10, func() {})
+	if q.Pop() == nil {
+		t.Fatal("pop returned nil")
+	}
+	q.Schedule(10, func() {}) // must not panic, even under -tags simcheck
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+// TestAssertIsFreeWhenOff: in production builds sim.Assert must be a
+// no-op so invariants can stay in hot paths unconditionally.
+func TestAssertIsFreeWhenOff(t *testing.T) {
+	if Checking {
+		t.Skip("simcheck build: Assert is armed (covered by check_test.go)")
+	}
+	Assert(false, "must not panic when simcheck is off")
+}

@@ -1,0 +1,186 @@
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// wallclockFuncs are the time-package entry points that observe the
+// host clock or host timers. time.Duration arithmetic and the Duration
+// constants stay legal: holding a duration is fine, sampling the wall
+// clock inside simulated state is not.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// allowSet records which rules are suppressed where in one file.
+type allowSet struct {
+	byLine map[int]map[string]bool
+	file   map[string]bool
+}
+
+func (a *allowSet) allowed(rule string, line int) bool {
+	if a.file[rule] {
+		return true
+	}
+	return a.byLine[line][rule]
+}
+
+// parseDirectives scans a file's comments for //simlint: directives.
+// A line directive suppresses findings on its own line (trailing
+// comment) and on the line directly below (standalone comment above
+// the statement). Malformed directives become findings themselves.
+func parseDirectives(fset *token.FileSet, f *ast.File, out *[]Finding) *allowSet {
+	a := &allowSet{byLine: map[int]map[string]bool{}, file: map[string]bool{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//simlint:")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				*out = append(*out, Finding{Pos: pos, Rule: RuleDirective,
+					Msg: "empty //simlint: directive"})
+				continue
+			}
+			verb := fields[0]
+			if verb != "allow" && verb != "allow-file" {
+				*out = append(*out, Finding{Pos: pos, Rule: RuleDirective,
+					Msg: fmt.Sprintf("unknown directive //simlint:%s (want allow or allow-file)", verb)})
+				continue
+			}
+			if len(fields) < 2 || !knownRules[fields[1]] {
+				*out = append(*out, Finding{Pos: pos, Rule: RuleDirective,
+					Msg: fmt.Sprintf("//simlint:%s needs a known rule (wallclock, maprange, concurrency)", verb)})
+				continue
+			}
+			if len(fields) < 3 {
+				*out = append(*out, Finding{Pos: pos, Rule: RuleDirective,
+					Msg: fmt.Sprintf("//simlint:%s %s needs a reason", verb, fields[1])})
+				continue
+			}
+			rule := fields[1]
+			if verb == "allow-file" {
+				a.file[rule] = true
+				continue
+			}
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				if a.byLine[line] == nil {
+					a.byLine[line] = map[string]bool{}
+				}
+				a.byLine[line][rule] = true
+			}
+		}
+	}
+	return a
+}
+
+// lintFile applies every applicable rule to one file. det selects the
+// full determinism contract; otherwise only wallclock applies.
+func lintFile(fset *token.FileSet, p *pkgInfo, f *ast.File, det bool) []Finding {
+	var out []Finding
+	allows := parseDirectives(fset, f, &out)
+	report := func(n ast.Node, rule, msg string) {
+		pos := fset.Position(n.Pos())
+		if allows.allowed(rule, pos.Line) {
+			return
+		}
+		out = append(out, Finding{Pos: pos, Rule: rule, Msg: msg})
+	}
+
+	// Track the local name of the time import (it may be renamed) and
+	// flag math/rand imports outright.
+	timeName := ""
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		switch path {
+		case "time":
+			timeName = "time"
+			if imp.Name != nil {
+				timeName = imp.Name.Name
+			}
+		case "math/rand", "math/rand/v2":
+			report(imp, RuleWallclock,
+				path+" is banned: use a seeded sim.NewRNG stream keyed by component identity")
+		}
+	}
+
+	typeOf := func(e ast.Expr) types.Type {
+		if p.info == nil {
+			return nil
+		}
+		if tv, ok := p.info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok && timeName != "" && id.Name == timeName &&
+				wallclockFuncs[n.Sel.Name] {
+				report(n, RuleWallclock, fmt.Sprintf(
+					"%s.%s leaks wall-clock time; simulated state must advance only in sim.Cycle units",
+					timeName, n.Sel.Name))
+			}
+		case *ast.GoStmt:
+			if det {
+				report(n, RuleConcurrency,
+					"goroutine spawn in a deterministic package; introduce parallelism behind a tested engine")
+			}
+		case *ast.SendStmt:
+			if det {
+				report(n, RuleConcurrency, "channel send in a deterministic package")
+			}
+		case *ast.UnaryExpr:
+			if det && n.Op == token.ARROW {
+				report(n, RuleConcurrency, "channel receive in a deterministic package")
+			}
+		case *ast.SelectStmt:
+			if det {
+				report(n, RuleConcurrency, "select statement in a deterministic package")
+			}
+		case *ast.CallExpr:
+			if det {
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+					report(n, RuleConcurrency, "channel close in a deterministic package")
+				}
+			}
+		case *ast.RangeStmt:
+			if !det {
+				return true
+			}
+			t := typeOf(n.X)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n, RuleMapRange,
+					"range over a map iterates in nondeterministic order; sort the keys first or annotate why order cannot matter")
+			case *types.Chan:
+				report(n, RuleConcurrency, "range over a channel in a deterministic package")
+			}
+		}
+		return true
+	})
+	return out
+}

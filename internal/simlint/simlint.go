@@ -1,0 +1,302 @@
+// Package simlint is the determinism lint for this module: a
+// stdlib-only static analyzer (go/parser + go/ast + go/types) that
+// enforces the simulation-purity rules every quantitative claim in the
+// reproduction depends on. The co-simulation experiments compare the
+// same workload under different network abstractions, so the simulator
+// must be bit-for-bit repeatable; wall-clock leakage, unseeded
+// randomness, Go map iteration order, and ad-hoc concurrency are the
+// ways that contract silently breaks.
+//
+// Three rules are enforced:
+//
+//   - wallclock (whole module): no calls to time.Now, time.Since, and
+//     the other wall-clock/timer entry points, and no import of
+//     math/rand (seeded sim.NewRNG streams only). Host-time
+//     measurement around the simulator — speedup experiments, CLI
+//     progress — is legitimate and is annotated.
+//
+//   - maprange (deterministic packages): no `for range` over a
+//     map-typed value. Map iteration order varies run to run; either
+//     collect and sort the keys, or annotate the loop with a reason
+//     why order cannot matter.
+//
+//   - concurrency (deterministic packages): no goroutine spawns,
+//     channel operations, or selects. Parallelism is introduced
+//     deliberately, behind an engine whose determinism is tested, not
+//     ambiently.
+//
+// A finding is suppressed by a directive comment on the same line or
+// the line directly above:
+//
+//	//simlint:allow <rule> <reason>
+//
+// or for a whole file (used by the phase-parallel engine, whose entire
+// job is deliberate concurrency):
+//
+//	//simlint:allow-file <rule> <reason>
+//
+// The reason is mandatory; a directive without one (or naming an
+// unknown rule) is itself reported. Test files (_test.go) are not
+// linted: tests may time out, measure, and range over maps to assert.
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rule names.
+const (
+	RuleWallclock   = "wallclock"
+	RuleMapRange    = "maprange"
+	RuleConcurrency = "concurrency"
+	// RuleDirective reports malformed //simlint: directives. It cannot
+	// be suppressed.
+	RuleDirective = "directive"
+)
+
+var knownRules = map[string]bool{
+	RuleWallclock:   true,
+	RuleMapRange:    true,
+	RuleConcurrency: true,
+}
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Config selects what to analyze.
+type Config struct {
+	// Root is the module root directory (the one containing go.mod).
+	Root string
+	// Deterministic lists module-relative import-path prefixes (e.g.
+	// "internal/noc") whose packages are under the full determinism
+	// contract (maprange + concurrency in addition to wallclock).
+	Deterministic []string
+}
+
+// DefaultDeterministic is the set of packages under the determinism
+// contract in this module: everything that executes inside the
+// simulated target. internal/expt, internal/stats, cmd/ and examples/
+// are host-side harness code: wallclock still applies there, but maps
+// and goroutines used for reporting do not perturb simulated state.
+func DefaultDeterministic() []string {
+	return []string{
+		"internal/sim",
+		"internal/noc",
+		"internal/fullsys",
+		"internal/core",
+		"internal/dram",
+		"internal/abstractnet",
+		"internal/traffic",
+		"internal/workload",
+	}
+}
+
+// Run analyzes the module rooted at cfg.Root and returns all findings
+// sorted by position. It returns an error only when the module itself
+// cannot be loaded; findings (including directive errors) are data,
+// not errors.
+func Run(cfg Config) ([]Finding, error) {
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modPath: modPath,
+		pkgs:    map[string]*pkgInfo{},
+		loading: map[string]bool{},
+	}
+	l.stdImp = importer.ForCompiler(l.fset, "source", nil)
+	if err := l.walk(); err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		p := l.pkgs[path]
+		det := isDeterministic(l.modPath, path, cfg.Deterministic)
+		if det {
+			// maprange and range-over-channel classification need types.
+			l.typeCheck(path)
+		}
+		for _, f := range p.files {
+			findings = append(findings, lintFile(l.fset, p, f, det)...)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// isDeterministic reports whether import path pkg falls under one of
+// the module-relative prefixes.
+func isDeterministic(modPath, pkg string, prefixes []string) bool {
+	for _, pre := range prefixes {
+		full := modPath + "/" + pre
+		if pkg == full || strings.HasPrefix(pkg, full+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("simlint: not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(p); err == nil {
+				p = unq
+			}
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("simlint: no module line in %s", gomod)
+}
+
+// pkgInfo is one parsed (and possibly type-checked) module package.
+type pkgInfo struct {
+	path  string
+	dir   string
+	files []*ast.File
+	tpkg  *types.Package
+	info  *types.Info
+}
+
+// loader parses every package in the module and type-checks packages
+// on demand. Module-local imports are resolved from source; standard
+// library imports go through the source importer so the analyzer works
+// offline with nothing but the toolchain.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	pkgs    map[string]*pkgInfo
+	stdImp  types.Importer
+	loading map[string]bool
+}
+
+// walk parses every non-test .go file in the module, grouped by
+// directory. testdata, vendor, and hidden directories are skipped.
+func (l *loader) walk() error {
+	return filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("simlint: parse %s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return err
+		}
+		imp := l.modPath
+		if rel != "." {
+			imp = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		p := l.pkgs[imp]
+		if p == nil {
+			p = &pkgInfo{path: imp, dir: dir}
+			l.pkgs[imp] = p
+		}
+		p.files = append(p.files, f)
+		return nil
+	})
+}
+
+// typeCheck type-checks a module package (once), resolving module
+// imports recursively. Type errors are tolerated: rules fall back to
+// syntax-only behaviour where type information is missing, which can
+// hide a finding but never invents one.
+func (l *loader) typeCheck(path string) *pkgInfo {
+	p := l.pkgs[path]
+	if p == nil || p.tpkg != nil || l.loading[path] {
+		return p
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	p.info = &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(error) {}, // best effort; see above
+	}
+	p.tpkg, _ = conf.Check(path, l.fset, p.files, p.info)
+	return p
+}
+
+// Import implements types.Importer over module-local source plus the
+// standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		if p := l.typeCheck(path); p != nil && p.tpkg != nil {
+			return p.tpkg, nil
+		}
+		return nil, fmt.Errorf("simlint: cannot load module package %s", path)
+	}
+	pkg, err := l.stdImp.Import(path)
+	if err != nil {
+		// Offline environment without GOROOT sources: degrade to an
+		// empty placeholder so local type-checking can continue.
+		name := path[strings.LastIndex(path, "/")+1:]
+		pkg = types.NewPackage(path, name)
+		pkg.MarkComplete()
+	}
+	return pkg, nil
+}

@@ -1,0 +1,120 @@
+package simlint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// runFixture analyzes the fixture module with "det" under the
+// determinism contract and returns findings as "file:line:rule"
+// triples (columns elided so gofmt-stable edits don't break tests).
+func runFixture(t *testing.T) []string {
+	t.Helper()
+	findings, err := Run(Config{
+		Root:          filepath.Join("testdata", "mod"),
+		Deterministic: []string{"det"},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var got []string
+	for _, f := range findings {
+		rel := filepath.ToSlash(f.Pos.Filename)
+		if i := strings.Index(rel, "testdata/mod/"); i >= 0 {
+			rel = rel[i+len("testdata/mod/"):]
+		}
+		got = append(got, fmt.Sprintf("%s:%d:%s", rel, f.Pos.Line, f.Rule))
+	}
+	return got
+}
+
+// TestFixtureFindings pins down, per rule, both the firing case and
+// (by exact-set comparison) the silence of every allowed/clean case in
+// the fixture tree.
+func TestFixtureFindings(t *testing.T) {
+	want := []string{
+		// wallclock: math/rand import and time.Now call fire; the
+		// annotated call in host.go and time import itself stay silent.
+		"det/det.go:8:wallclock",
+		"det/det.go:17:wallclock",
+		"host/host.go:10:wallclock", // renamed import still caught
+		// maprange: the bare loop fires; the annotated sort-the-keys
+		// loop and the slice loop stay silent.
+		"det/det.go:24:maprange",
+		// concurrency: go/send/recv/close/select all fire; the
+		// annotated sends/receives and the allow-file file stay silent.
+		"det/det.go:47:concurrency", // go stmt
+		"det/det.go:47:concurrency", // send inside the spawned func
+		"det/det.go:48:concurrency", // receive
+		"det/det.go:49:concurrency", // close
+		"det/det.go:50:concurrency", // select
+		// malformed directives are findings themselves.
+		"det/directives.go:5:directive",
+		"det/directives.go:8:directive",
+		"det/directives.go:11:directive",
+		"det/directives.go:14:directive",
+	}
+	got := runFixture(t)
+	sort.Strings(want)
+	g := append([]string(nil), got...)
+	sort.Strings(g)
+	if strings.Join(g, "\n") != strings.Join(want, "\n") {
+		t.Errorf("findings mismatch\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(g, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// TestHostPackageScope verifies the contract split: host-side packages
+// get no maprange/concurrency findings at all.
+func TestHostPackageScope(t *testing.T) {
+	for _, f := range runFixture(t) {
+		if strings.HasPrefix(f, "host/") &&
+			(strings.HasSuffix(f, ":maprange") || strings.HasSuffix(f, ":concurrency")) {
+			t.Errorf("host-side package must not be under the full contract: %s", f)
+		}
+	}
+}
+
+// TestDefaultDeterministicScope: with the fixture det package NOT
+// listed, only wallclock findings remain.
+func TestDefaultDeterministicScope(t *testing.T) {
+	findings, err := Run(Config{Root: filepath.Join("testdata", "mod")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		if f.Rule == RuleMapRange || f.Rule == RuleConcurrency {
+			t.Errorf("rule %s fired outside the deterministic set: %s", f.Rule, f)
+		}
+	}
+}
+
+// TestRunErrorsOutsideModule: a directory without go.mod is a load
+// error, not an empty result.
+func TestRunErrorsOutsideModule(t *testing.T) {
+	if _, err := Run(Config{Root: "testdata"}); err == nil {
+		t.Fatal("expected error for a root without go.mod")
+	}
+}
+
+// TestRepoIsDeterministicSuperset sanity-checks the production config:
+// every entry resolves under the repro module and includes the sim
+// kernel itself.
+func TestRepoIsDeterministicSuperset(t *testing.T) {
+	det := DefaultDeterministic()
+	found := false
+	for _, d := range det {
+		if d == "internal/sim" {
+			found = true
+		}
+		if strings.HasPrefix(d, "/") || strings.Contains(d, "repro/") {
+			t.Errorf("entries must be module-relative, got %q", d)
+		}
+	}
+	if !found {
+		t.Error("internal/sim must be under the determinism contract")
+	}
+}

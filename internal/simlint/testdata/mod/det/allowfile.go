@@ -1,0 +1,14 @@
+// Fixture for the file-scope exemption: the whole file is deliberate
+// concurrency, like the real phase-parallel engine.
+//
+//simlint:allow-file concurrency fixture: worker-pool equivalent
+package det
+
+func pump(ch chan int) {
+	go func() { ch <- 1 }()
+	for v := range ch {
+		_ = v
+		break
+	}
+	close(ch)
+}

@@ -1,0 +1,63 @@
+// Package det is a simlint fixture under the determinism contract:
+// each rule must both fire on its violation and stay silent on the
+// allowed or clean variant. Line numbers are asserted by
+// internal/simlint's tests; keep edits appended or update the tests.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type counts map[string]int
+
+// Bad samples the wall clock and the global RNG.
+func Bad() int64 {
+	t := time.Now().UnixNano()
+	return t + int64(rand.Int())
+}
+
+// BadMapRange depends on map iteration order.
+func BadMapRange(m counts) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// GoodMapRange collects keys (annotated) and sorts before use.
+func GoodMapRange(m counts) []string {
+	out := make([]string, 0, len(m))
+	//simlint:allow maprange keys are sorted before use below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	for _, k := range out { // slice range: never flagged
+		_ = k
+	}
+	return out
+}
+
+// BadConcurrency spawns and communicates ad hoc.
+func BadConcurrency() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	v := <-ch
+	close(ch)
+	select {
+	default:
+	}
+	return v
+}
+
+// AllowedConcurrency is the same shape with every op justified.
+func AllowedConcurrency() int {
+	ch := make(chan int, 1)
+	ch <- 1 //simlint:allow concurrency fixture: buffered, single-goroutine
+	//simlint:allow concurrency fixture: buffered, single-goroutine
+	v := <-ch
+	return v
+}

@@ -1,0 +1,15 @@
+// Fixture for malformed //simlint: directives, each of which is a
+// finding in its own right (rule "directive").
+package det
+
+//simlint:allow
+var noRule = 1
+
+//simlint:allow maprange
+var noReason = 2
+
+//simlint:deny maprange because
+var badVerb = 3
+
+//simlint:allow bogus some reason
+var badRule = 4

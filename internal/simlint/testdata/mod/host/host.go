@@ -1,0 +1,26 @@
+// Package host is harness-side fixture code outside the determinism
+// contract: only the wallclock rule applies here.
+package host
+
+import (
+	wt "time"
+)
+
+// Wall is flagged even though the time import is renamed.
+func Wall() wt.Time { return wt.Now() }
+
+// AllowedWall measures host time legitimately.
+func AllowedWall() wt.Time {
+	return wt.Now() //simlint:allow wallclock measuring harness speed, not simulated state
+}
+
+// MapsAndGoroutinesAreFine: maprange and concurrency do not apply to
+// host-side packages.
+func MapsAndGoroutinesAreFine(m map[int]int) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	for k := range m {
+		_ = k
+	}
+}

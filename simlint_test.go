@@ -1,0 +1,28 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/simlint"
+)
+
+// TestSimlint runs the determinism lint over the whole module as part
+// of tier-1 `go test ./...`: the simulation-purity rules (no wall
+// clock, no map-order dependence, no ad-hoc concurrency in the
+// deterministic packages) are enforced, not advisory. See DESIGN.md
+// "Determinism contract".
+func TestSimlint(t *testing.T) {
+	findings, err := simlint.Run(simlint.Config{
+		Root:          ".",
+		Deterministic: simlint.DefaultDeterministic(),
+	})
+	if err != nil {
+		t.Fatalf("simlint failed to load module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the code or annotate with //simlint:allow <rule> <reason> (see DESIGN.md)")
+	}
+}
