@@ -37,8 +37,17 @@ func main() {
 		sysStats  = flag.Bool("sysstats", false, "print system-level execution statistics")
 		saveTrace = flag.String("savetrace", "", "write the injection trace of the first mode to this file (JSON lines)")
 		prefetch  = flag.Int("prefetch", 0, "next-line L1 prefetch degree (0 = off)")
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file (overwritten unless -resume restores it first)")
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "rewrite -checkpoint every N cycles (0 = never)")
+		resume    = flag.Bool("resume", false, "restore -checkpoint before running, when the file exists")
 	)
 	flag.Parse()
+	if *ckptPath == "" && (*ckptEvery > 0 || *resume) {
+		fatal(fmt.Errorf("-checkpoint-every and -resume require -checkpoint"))
+	}
+	if *ckptPath != "" && *saveTrace != "" {
+		fatal(fmt.Errorf("-checkpoint cannot be combined with -savetrace"))
+	}
 
 	cfg := repro.DefaultConfig(*tiles)
 	cfg.Quantum = *quantum
@@ -76,7 +85,29 @@ func main() {
 				fatal(err)
 			}
 		}
-		res := cs.Run(sim.Cycle(*limit))
+		var res core.Result
+		if *ckptPath == "" {
+			res = cs.Run(sim.Cycle(*limit))
+		} else {
+			// Per-mode checkpoint files when several modes run; the
+			// config digest rejects a stale file from the wrong mode.
+			path := *ckptPath
+			if strings.Contains(*mode, ",") {
+				path += "." + m
+			}
+			if !*resume {
+				os.Remove(path)
+			}
+			digest := repro.ConfigDigest(cfg, repro.Mode(m),
+				fmt.Sprintf("%s-%d-%d-%d", *wlName, *tiles, *ops, *seed))
+			res, err = repro.RunResumable(cs, sim.Cycle(*limit), path, sim.Cycle(*ckptEvery), digest)
+			if err != nil {
+				fatal(err)
+			}
+			if err := repro.SaveCheckpoint(path, cs, digest); err != nil {
+				fatal(err)
+			}
+		}
 		if rec != nil {
 			f, err := os.Create(*saveTrace)
 			if err != nil {

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -21,11 +23,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (T1,F1..F8,T2,A1,A2) or 'all'")
-		scale = flag.String("scale", "quick", "scale: quick|full")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
-		js    = flag.Bool("json", false, "emit JSON instead of text tables")
+		exp       = flag.String("exp", "all", "experiment id (T1,F1..F8,T2,A1,A2) or 'all'")
+		scale     = flag.String("scale", "quick", "scale: quick|full")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
+		js        = flag.Bool("json", false, "emit JSON instead of text tables")
+		resumeDir = flag.String("resume-dir", "", "directory of per-experiment results: finished experiments are replayed from it instead of rerun, so an interrupted -exp all sweep resumes where it stopped")
 	)
 	flag.Parse()
 
@@ -52,29 +55,77 @@ func main() {
 	} else {
 		e, err := expt.ByID(strings.ToUpper(*exp))
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			fmt.Fprintln(os.Stderr, "available experiments:")
+			for _, e := range expt.All() {
+				fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.ID, e.Title)
+			}
+			os.Exit(1)
 		}
 		exps = []expt.Experiment{e}
 	}
 
+	ext := ".txt"
+	switch {
+	case *js:
+		ext = ".json"
+	case *csv:
+		ext = ".csv"
+	}
+	if *resumeDir != "" {
+		if err := os.MkdirAll(*resumeDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
 	for _, e := range exps {
+		done := filepath.Join(*resumeDir, e.ID+ext)
+		if *resumeDir != "" {
+			if rec, err := os.ReadFile(done); err == nil {
+				fmt.Printf("### %s — %s (replayed from %s)\n", e.ID, e.Title, done)
+				os.Stdout.Write(rec)
+				fmt.Println()
+				continue
+			} else if !os.IsNotExist(err) {
+				fatal(err)
+			}
+		}
 		fmt.Printf("### %s — %s (scale=%s)\n", e.ID, e.Title, *scale)
 		start := time.Now() //simlint:allow wallclock CLI progress timing around the run, outside simulated state
 		tables := e.Run(s)
+		var rendered bytes.Buffer
 		for _, tb := range tables {
 			var err error
 			switch {
 			case *js:
-				err = tb.WriteJSON(os.Stdout)
+				err = tb.WriteJSON(&rendered)
 			case *csv:
-				err = tb.WriteCSV(os.Stdout)
+				err = tb.WriteCSV(&rendered)
 			default:
-				err = tb.WriteText(os.Stdout)
+				err = tb.WriteText(&rendered)
 			}
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Println()
+			fmt.Fprintln(&rendered)
+		}
+		os.Stdout.Write(rendered.Bytes())
+		if *resumeDir != "" {
+			// Atomic write: a sweep killed mid-experiment must not leave a
+			// partial record that a resume would wrongly skip.
+			tmp, err := os.CreateTemp(*resumeDir, e.ID+".tmp*")
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := tmp.Write(rendered.Bytes()); err != nil {
+				fatal(err)
+			}
+			if err := tmp.Close(); err != nil {
+				fatal(err)
+			}
+			if err := os.Rename(tmp.Name(), done); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond)) //simlint:allow wallclock CLI progress timing around the run, outside simulated state
 	}

@@ -1,0 +1,51 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestExamplesRun smoke-tests every program under examples/: each must
+// build and exit 0 when run with its smallest parameters. The examples
+// double as the README's usage documentation, so a broken one is a
+// documentation bug as much as a code bug.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take seconds each; skipped with -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny-run overrides for examples that take flags.
+	args := map[string][]string{
+		"gpuoffload": {"-ops", "50"},
+	}
+	var names []string
+	for _, ent := range entries {
+		if ent.IsDir() {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", append([]string{"run", "./" + filepath.Join("examples", name)}, args[name]...)...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

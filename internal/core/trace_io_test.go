@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := []TraceEntry{
+		{At: 0, Src: 0, Dst: 3, VNet: 0, Size: 1, Class: stats.ClassRequest},
+		{At: 5, Src: 2, Dst: 1, VNet: 1, Size: 5, Class: stats.ClassRequest},
+		{At: 5, Src: 0, Dst: 2, VNet: 0, Size: 2, Class: stats.ClassRequest},
+		{At: 9, Src: 3, Dst: 0, VNet: 1, Size: 1, Class: stats.ClassRequest},
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadTrace(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip changed length: %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("entry %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// TestLoadTraceRejectsCorruption drives every validation path in
+// LoadTrace with malformed input and checks the error names the
+// offending entry and what is wrong with it.
+func TestLoadTraceRejectsCorruption(t *testing.T) {
+	good := `{"at":10,"src":1,"dst":2,"vnet":0,"size":3,"class":0}` + "\n"
+	cases := []struct {
+		name  string
+		input string
+		want  []string // substrings the error must contain
+	}{
+		{
+			name:  "truncated record",
+			input: good + `{"at":20,"src":1,"dst":`,
+			want:  []string{"trace entry 1"},
+		},
+		{
+			name:  "corrupted json",
+			input: good + "\x00\xffnot json\n",
+			want:  []string{"trace entry 1"},
+		},
+		{
+			name:  "wrong value type",
+			input: `{"at":"soon","src":1,"dst":2,"vnet":0,"size":3,"class":0}` + "\n",
+			want:  []string{"trace entry 0"},
+		},
+		{
+			name:  "zero size",
+			input: `{"at":10,"src":1,"dst":2,"vnet":0,"size":0,"class":0}` + "\n",
+			want:  []string{"trace entry 0", "size 0"},
+		},
+		{
+			name:  "negative size",
+			input: `{"at":10,"src":1,"dst":2,"vnet":0,"size":-4,"class":0}` + "\n",
+			want:  []string{"trace entry 0", "size -4"},
+		},
+		{
+			name:  "source out of range",
+			input: `{"at":10,"src":16,"dst":2,"vnet":0,"size":3,"class":0}` + "\n",
+			want:  []string{"trace entry 0", "out of range"},
+		},
+		{
+			name:  "negative destination",
+			input: `{"at":10,"src":1,"dst":-1,"vnet":0,"size":3,"class":0}` + "\n",
+			want:  []string{"trace entry 0", "out of range"},
+		},
+		{
+			name: "timestamp regression",
+			input: good +
+				`{"at":5,"src":1,"dst":3,"vnet":0,"size":1,"class":0}` + "\n",
+			want: []string{"trace entry 1", "precedes"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadTrace(strings.NewReader(tc.input), 16)
+			if err == nil {
+				t.Fatalf("corrupt trace %q loaded without error", tc.input)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q does not mention %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+// Per-source timestamps only need to be monotonic per (src, vnet)
+// stream; interleavings across sources are legal and must load.
+func TestLoadTraceAllowsCrossSourceInterleaving(t *testing.T) {
+	input := `{"at":10,"src":1,"dst":2,"vnet":0,"size":3,"class":0}` + "\n" +
+		`{"at":5,"src":2,"dst":1,"vnet":0,"size":1,"class":0}` + "\n" +
+		`{"at":5,"src":1,"dst":2,"vnet":1,"size":1,"class":0}` + "\n"
+	out, err := LoadTrace(strings.NewReader(input), 16)
+	if err != nil {
+		t.Fatalf("legal interleaving rejected: %v", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d entries, want 3", len(out))
+	}
+}
+
+// Endpoint validation is optional: terminals <= 0 loads a trace for
+// inspection without knowing the capture topology.
+func TestLoadTraceSkipsEndpointValidation(t *testing.T) {
+	input := `{"at":10,"src":99,"dst":200,"vnet":0,"size":3,"class":0}` + "\n"
+	if _, err := LoadTrace(strings.NewReader(input), 0); err != nil {
+		t.Fatalf("terminals=0 should skip endpoint validation: %v", err)
+	}
+	if _, err := LoadTrace(strings.NewReader(input), 16); err == nil {
+		t.Fatal("terminals=16 should reject src 99")
+	}
+}

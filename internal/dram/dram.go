@@ -73,6 +73,10 @@ type Request struct {
 	// Done is called exactly once, at the core cycle the data transfer
 	// completes.
 	Done func(at sim.Cycle)
+	// Meta carries the caller's identity for the request. The
+	// controller never reads it; checkpointing uses it to re-derive
+	// Done, which cannot itself be serialized.
+	Meta interface{}
 
 	arrived sim.Cycle
 	bank    int

@@ -1,0 +1,81 @@
+package dram
+
+import (
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// SnapshotTo writes the controller's complete timing and queue state.
+// Queued requests carry an opaque completion callback that cannot be
+// serialized, so the caller supplies meta, which encodes enough of
+// Request.Meta for RestoreFrom's rebuild callback to reconstruct Done.
+func (c *Controller) SnapshotTo(e *snapshot.Encoder, meta func(*snapshot.Encoder, *Request)) {
+	e.Section("dram")
+	e.U32(uint32(len(c.banks)))
+	for _, b := range c.banks {
+		e.I64(b.openRow)
+		e.U64(uint64(b.readyAt))
+	}
+	e.U64(uint64(c.busFreeAt))
+	e.U64(c.rowHits)
+	e.U64(c.rowMisses)
+	e.U64(c.rowConflicts)
+	e.U64(c.reads)
+	e.U64(c.writes)
+	c.latency.SnapshotTo(e)
+	c.queueSamples.SnapshotTo(e)
+	e.U32(uint32(len(c.queue)))
+	for _, r := range c.queue {
+		e.U64(r.Line)
+		e.Bool(r.Write)
+		e.U64(uint64(r.arrived))
+		meta(e, r)
+	}
+}
+
+// RestoreFrom reloads a state written by SnapshotTo. rebuild decodes
+// the per-request metadata written by the snapshot's meta callback and
+// must set Request.Done (and Meta); bank/row decode is re-derived from
+// the line address.
+func (c *Controller) RestoreFrom(d *snapshot.Decoder, rebuild func(*snapshot.Decoder, *Request) error) error {
+	d.Section("dram")
+	n := d.Count(16)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(c.banks) {
+		d.Failf("controller has %d banks, snapshot has %d", len(c.banks), n)
+		return d.Err()
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = d.I64()
+		c.banks[i].readyAt = sim.Cycle(d.U64())
+	}
+	c.busFreeAt = sim.Cycle(d.U64())
+	c.rowHits = d.U64()
+	c.rowMisses = d.U64()
+	c.rowConflicts = d.U64()
+	c.reads = d.U64()
+	c.writes = d.U64()
+	if err := c.latency.RestoreFrom(d); err != nil {
+		return err
+	}
+	if err := c.queueSamples.RestoreFrom(d); err != nil {
+		return err
+	}
+	qn := d.Count(17)
+	c.queue = c.queue[:0]
+	for i := 0; i < qn; i++ {
+		r := &Request{Line: d.U64(), Write: d.Bool(), arrived: sim.Cycle(d.U64())}
+		if err := rebuild(d, r); err != nil {
+			return err
+		}
+		if d.Err() == nil && r.Done == nil {
+			d.Failf("queued request %d restored without a completion callback", i)
+			return d.Err()
+		}
+		r.bank, r.row = c.decode(r.Line)
+		c.queue = append(c.queue, r)
+	}
+	return d.Err()
+}

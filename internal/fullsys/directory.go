@@ -390,28 +390,23 @@ func (t *Tile) handleMC(now sim.Cycle, m Msg) {
 // applying the write and reading the value at completion time is safe
 // even though FR-FCFS reorders across lines.
 func (t *Tile) handleMCDetailed(now sim.Cycle, m Msg) {
-	write := m.Type == MemWrite
 	req := &dram.Request{
 		Line:  m.Line,
-		Write: write,
+		Write: m.Type == MemWrite,
 		// FR-FCFS completes requests out of arrival order, and Done
 		// fires at issue time with a future completion cycle, so the
 		// response must go through the event queue: events fire in
 		// simulation-time order, which keeps each (source, vnet)
-		// injection stream monotonic as the network requires.
+		// injection stream monotonic as the network requires. Meta
+		// keeps the originating message so a checkpoint of the DRAM
+		// queue can rebuild this callback.
 		Done: func(at sim.Cycle) {
-			t.sys.events.Schedule(at, func() {
-				if write {
-					t.mem[m.Line] = m.Value
-					t.sys.sendAfter(at, 0, Msg{Type: MemWAck, Line: m.Line, Src: t.id, Dst: m.Src})
-					return
-				}
-				t.sys.sendAfter(at, 0, Msg{Type: MemData, Line: m.Line, Src: t.id, Dst: m.Src, Value: t.mem[m.Line]})
-			})
+			t.sys.events.Schedule(at, sysEvent{kind: evDramDone, msg: m})
 		},
+		Meta: m,
 	}
 	if !t.dramCtl.Enqueue(req, now) {
 		// Bounded queue full: retry next cycle.
-		t.sys.events.Schedule(now+1, func() { t.handleMCDetailed(now+1, m) })
+		t.sys.events.Schedule(now+1, sysEvent{kind: evMCRetry, msg: m})
 	}
 }

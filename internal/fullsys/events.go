@@ -1,0 +1,64 @@
+package fullsys
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// evKind discriminates the deferred actions the system schedules. Every
+// deferred action reduces to a (kind, message) pair of plain data, so
+// the pending event queue can be enumerated into a checkpoint and
+// rebuilt — which a queue of closures cannot.
+type evKind uint8
+
+const (
+	// evDispatch delivers a message to its destination's functional
+	// unit at the due cycle (local-bank short circuit).
+	evDispatch evKind = iota
+	// evSend hands a message to the network at the due cycle (service
+	// delay elapsed).
+	evSend
+	// evDramDone applies a completed bank-level DRAM access and emits
+	// the memory response.
+	evDramDone
+	// evMCRetry re-presents a memory access to a full DRAM queue.
+	evMCRetry
+	numEvKinds
+)
+
+// sysEvent is one pending deferred action.
+type sysEvent struct {
+	kind evKind
+	msg  Msg
+}
+
+// fire executes a popped event at its due cycle.
+func (s *System) fire(at sim.Cycle, ev sysEvent) {
+	switch ev.kind {
+	case evDispatch:
+		s.dispatch(at, ev.msg)
+	case evSend:
+		s.send(ev.msg, at)
+	case evDramDone:
+		s.dramDone(at, ev.msg)
+	case evMCRetry:
+		s.tiles[ev.msg.Dst].handleMCDetailed(at, ev.msg)
+	default:
+		panic(fmt.Sprintf("fullsys: unknown event kind %d", ev.kind))
+	}
+}
+
+// dramDone completes a bank-level memory access: the home's victim
+// buffer guarantees no read/write overlap per line, so applying the
+// write and reading the value at completion time is safe even though
+// FR-FCFS reorders across lines.
+func (s *System) dramDone(at sim.Cycle, m Msg) {
+	t := s.tiles[m.Dst]
+	if m.Type == MemWrite {
+		t.mem[m.Line] = m.Value
+		s.sendAfter(at, 0, Msg{Type: MemWAck, Line: m.Line, Src: t.id, Dst: m.Src})
+		return
+	}
+	s.sendAfter(at, 0, Msg{Type: MemData, Line: m.Line, Src: t.id, Dst: m.Src, Value: t.mem[m.Line]})
+}

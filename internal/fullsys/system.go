@@ -23,7 +23,7 @@ type System struct {
 	send Sender
 
 	tiles   []*Tile
-	events  sim.EventQueue
+	events  sim.TypedQueue[sysEvent]
 	now     sim.Cycle
 	barrier map[uint64]int
 	mcList  []int
@@ -88,7 +88,13 @@ func (s *System) Tick(now sim.Cycle) {
 		panic(fmt.Sprintf("fullsys: Tick(%v) after %v", now, s.now))
 	}
 	s.now = now
-	s.events.RunUntil(now)
+	for {
+		d, ok := s.events.PopUntil(now)
+		if !ok {
+			break
+		}
+		s.fire(d.When, d.Item)
+	}
 	for _, mc := range s.mcList {
 		if ctl := s.tiles[mc].dramCtl; ctl != nil {
 			ctl.Tick(now)
@@ -145,7 +151,7 @@ func (s *System) sendAfter(now sim.Cycle, delay int, m Msg) {
 	if m.Src == m.Dst {
 		s.localMsgs++
 		at := now + sim.Cycle(delay+s.cfg.LocalLat)
-		s.events.Schedule(at, func() { s.dispatch(at, m) })
+		s.events.Schedule(at, sysEvent{kind: evDispatch, msg: m})
 		return
 	}
 	s.msgsSent++
@@ -156,7 +162,7 @@ func (s *System) sendAfter(now sim.Cycle, delay int, m Msg) {
 		return
 	}
 	at := now + sim.Cycle(delay)
-	s.events.Schedule(at, func() { s.send(m, at) })
+	s.events.Schedule(at, sysEvent{kind: evSend, msg: m})
 }
 
 // Done reports whether every core has halted.

@@ -1,0 +1,42 @@
+package gpu
+
+import (
+	"repro/internal/noc"
+	"repro/internal/snapshot"
+)
+
+// SnapshotTo writes the offload accounting and the wrapped network's
+// complete state. The device parameters are construction-time
+// configuration covered by the caller's config digest.
+func (b *Backend) SnapshotTo(e *snapshot.Encoder, pc snapshot.PayloadCodec) {
+	e.Section("gpu")
+	e.U64(b.stats.Quanta)
+	e.U64(b.stats.Kernels)
+	e.F64(b.stats.LaunchNs)
+	e.F64(b.stats.ComputeNs)
+	e.F64(b.stats.TransferNs)
+	e.U64(b.stats.BytesToDevice)
+	e.U64(b.stats.BytesFromDevice)
+	e.U64(b.pendingInj)
+	e.U64(b.drained)
+	b.net.SnapshotTo(e, pc)
+}
+
+// RestoreFrom reloads state written by SnapshotTo into a backend built
+// over an identically configured network and device model.
+func (b *Backend) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, track func(*noc.Packet)) error {
+	d.Section("gpu")
+	b.stats.Quanta = d.U64()
+	b.stats.Kernels = d.U64()
+	b.stats.LaunchNs = d.F64()
+	b.stats.ComputeNs = d.F64()
+	b.stats.TransferNs = d.F64()
+	b.stats.BytesToDevice = d.U64()
+	b.stats.BytesFromDevice = d.U64()
+	b.pendingInj = d.U64()
+	b.drained = d.U64()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	return b.net.RestoreFrom(d, pc, track)
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// Deferred is one scheduled item in a TypedQueue: the target cycle, the
+// insertion sequence that breaks same-cycle ties, and the payload.
+type Deferred[T any] struct {
+	When Cycle
+	Seq  uint64
+	Item T
+}
+
+// TypedQueue is a binary-heap priority queue of typed items ordered by
+// (cycle, insertion sequence). It is the checkpointable sibling of
+// EventQueue: where EventQueue holds closures, TypedQueue holds plain
+// data, so its pending contents can be enumerated into a snapshot and
+// reloaded with identical firing order. The zero value is an empty
+// queue.
+type TypedQueue[T any] struct {
+	heap []Deferred[T]
+	seq  uint64
+
+	// watermark is the cycle of the latest popped item; fired marks it
+	// valid. Maintained unconditionally, consulted only by simcheck
+	// builds (mirrors EventQueue).
+	watermark Cycle
+	fired     bool
+}
+
+// Len reports the number of pending items.
+func (q *TypedQueue[T]) Len() int { return len(q.heap) }
+
+// Schedule enqueues item to fire at cycle when.
+func (q *TypedQueue[T]) Schedule(when Cycle, item T) {
+	if Checking && q.fired && when < q.watermark {
+		Assert(false, "sim: TypedQueue.Schedule(%v) into the past; watermark %v", when, q.watermark)
+	}
+	q.heap = append(q.heap, Deferred[T]{When: when, Seq: q.seq, Item: item})
+	q.seq++
+	q.up(len(q.heap) - 1)
+}
+
+// PopUntil removes and returns the earliest item scheduled at or before
+// cycle until; ok is false when no such item is pending.
+func (q *TypedQueue[T]) PopUntil(until Cycle) (d Deferred[T], ok bool) {
+	if len(q.heap) == 0 || q.heap[0].When > until {
+		return d, false
+	}
+	d = q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	var zero Deferred[T]
+	q.heap[last] = zero
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	q.watermark = d.When
+	q.fired = true
+	return d, true
+}
+
+// SnapshotTo writes the queue — pending items in firing order plus the
+// sequencing state — using enc for each item.
+func (q *TypedQueue[T]) SnapshotTo(e *snapshot.Encoder, enc func(*snapshot.Encoder, T)) {
+	e.U64(q.seq)
+	e.U64(uint64(q.watermark))
+	e.Bool(q.fired)
+	sorted := make([]Deferred[T], len(q.heap))
+	copy(sorted, q.heap)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].When != sorted[j].When {
+			return sorted[i].When < sorted[j].When
+		}
+		return sorted[i].Seq < sorted[j].Seq
+	})
+	e.U32(uint32(len(sorted)))
+	for _, d := range sorted {
+		e.U64(uint64(d.When))
+		e.U64(d.Seq)
+		enc(e, d.Item)
+	}
+}
+
+// RestoreFrom replaces the queue contents with a snapshot written by
+// SnapshotTo, using dec for each item. Original sequence numbers are
+// preserved, so same-cycle firing order is exactly that of the saved
+// run.
+func (q *TypedQueue[T]) RestoreFrom(d *snapshot.Decoder, dec func(*snapshot.Decoder) (T, error)) error {
+	q.heap = q.heap[:0]
+	q.seq = d.U64()
+	q.watermark = Cycle(d.U64())
+	q.fired = d.Bool()
+	n := d.Count(17) // when + seq + at least one item byte
+	for i := 0; i < n; i++ {
+		when := Cycle(d.U64())
+		seq := d.U64()
+		item, err := dec(d)
+		if err != nil {
+			return err
+		}
+		if seq >= q.seq {
+			d.Failf("queue entry %d has seq %d >= next seq %d", i, seq, q.seq)
+			return d.Err()
+		}
+		q.heap = append(q.heap, Deferred[T]{When: when, Seq: seq, Item: item})
+		q.up(len(q.heap) - 1)
+	}
+	return d.Err()
+}
+
+func (q *TypedQueue[T]) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.When != b.When {
+		return a.When < b.When
+	}
+	return a.Seq < b.Seq
+}
+
+func (q *TypedQueue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *TypedQueue[T]) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"repro/internal/snapshot"
+)
+
+// SnapshotTo writes the kernel's generator position: every per-core
+// RNG stream and the op-budget / phase / state machine counters. The
+// configuration fields are not written — they are part of the run
+// description covered by the config digest.
+func (s *Synthetic) SnapshotTo(e *snapshot.Encoder) {
+	s.init()
+	e.Section("workload")
+	e.U32(uint32(s.Cores))
+	for c := 0; c < s.Cores; c++ {
+		s.rngs[c].SnapshotTo(e)
+		e.Int(s.done[c])
+		e.Int(s.phase[c])
+		e.U64(s.nextBar[c])
+		e.U8(s.state[c])
+	}
+}
+
+// RestoreFrom reloads a position written by SnapshotTo into a kernel
+// constructed with the same configuration.
+func (s *Synthetic) RestoreFrom(d *snapshot.Decoder) error {
+	s.init()
+	d.Section("workload")
+	if n := int(d.U32()); d.Err() == nil && n != s.Cores {
+		d.Failf("workload snapshot has %d cores, kernel has %d", n, s.Cores)
+		return d.Err()
+	}
+	for c := 0; c < s.Cores; c++ {
+		if err := s.rngs[c].RestoreFrom(d); err != nil {
+			return err
+		}
+		s.done[c] = d.Int()
+		s.phase[c] = d.Int()
+		s.nextBar[c] = d.U64()
+		s.state[c] = d.U8()
+		if d.Err() == nil && s.state[c] > wHalted {
+			d.Failf("core %d workload state %d out of range", c, s.state[c])
+			return d.Err()
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BenchmarkSnapshotRoundTrip measures one full checkpoint cycle —
+// encode the live co-simulation, then decode the blob back into a
+// second instance — for mid-run reciprocal states at two machine
+// sizes. b.SetBytes reports throughput against the blob size, so the
+// metric tracks both CPU cost and format growth.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	for _, tiles := range []int{64, 256} {
+		b.Run(fmt.Sprintf("tiles=%d", tiles), func(b *testing.B) {
+			cfg := DefaultConfig(tiles)
+			digest := ConfigDigest(cfg, ModeReciprocal, "bench")
+			build := func() *core.Cosim {
+				cs, err := BuildCosim(cfg, ModeReciprocal, workload.NewFFT(tiles, 200, 42))
+				if err != nil {
+					b.Fatal(err)
+				}
+				return cs
+			}
+			src := build()
+			defer src.Net.Close()
+			// Run into the steady state so the snapshot carries real
+			// in-flight traffic, not an empty machine.
+			if res := src.Run(sim.Cycle(4 * cfg.Quantum * 16)); res.Finished {
+				b.Fatal("workload finished before the measurement point; benchmark state is empty")
+			}
+			dst := build()
+			defer dst.Net.Close()
+
+			blob, err := EncodeCheckpoint(src, digest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(blob)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blob, err := EncodeCheckpoint(src, digest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := DecodeCheckpoint(blob, dst, digest); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
