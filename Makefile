@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint race simcheck premerge
+.PHONY: all build test vet lint race simcheck premerge
 
 all: build test
 
@@ -10,11 +10,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Static pre-merge gate: the stock vet passes plus simlint, the
-# determinism lint (see DESIGN.md "Determinism contract"). simlint is
-# stdlib-only, so this needs nothing beyond the toolchain.
-lint:
+# The stock static analysis passes.
+vet:
 	$(GO) vet ./...
+
+# simlint, the determinism lint (see DESIGN.md "Determinism
+# contract"). Stdlib-only, so this needs nothing beyond the toolchain.
+lint:
 	$(GO) run ./cmd/simlint ./...
 
 # Dynamic pre-merge gates: the race detector across the whole module,
@@ -27,4 +29,4 @@ simcheck:
 	$(GO) test -tags simcheck ./...
 
 # Everything a PR must pass.
-premerge: build lint test race simcheck
+premerge: build vet lint test race simcheck

@@ -32,7 +32,8 @@ func main() {
 		torus     = flag.Bool("torus", false, "use a torus instead of a mesh")
 		routing   = flag.String("routing", "xy", "mesh routing: xy|yx|oddeven")
 		workers   = flag.Int("workers", 0, "parallel engine workers for GPU mode (0 = GOMAXPROCS)")
-		memModel  = flag.String("mem", "fixed", "memory model: fixed|ddr")
+		memModel  = flag.String("mem", "fixed", "memory model: fixed|ddr|abstract|calibrated")
+		compWork  = flag.Int("component-workers", 0, "step co-simulation components (network, memory) concurrently with this many workers (0/1 = sequential)")
 		router    = flag.String("router", "vc", "router architecture for detailed modes: vc|deflect")
 		sysStats  = flag.Bool("sysstats", false, "print system-level execution statistics")
 		saveTrace = flag.String("savetrace", "", "write the injection trace of the first mode to this file (JSON lines)")
@@ -57,6 +58,7 @@ func main() {
 	cfg.System.MemModel = *memModel
 	cfg.System.PrefetchDegree = *prefetch
 	cfg.RouterArch = *router
+	cfg.ComponentWorkers = *compWork
 
 	var results []core.Result
 	allFinished := true
@@ -123,16 +125,16 @@ func main() {
 		}
 		results = append(results, res)
 		allFinished = allFinished && res.Finished
-		if *memModel == "ddr" {
+		if *memModel != "fixed" {
 			d := cs.Sys.DRAMStats()
-			fmt.Printf("dram[%s]: reads=%d writes=%d row-hit=%.1f%% avg-lat=%.1f queue=%.2f\n",
-				m, d.Reads, d.Writes, d.RowHitRate()*100, d.AvgLatency, d.AvgQueueDepth)
+			fmt.Printf("mem[%s/%s]: reads=%d writes=%d row-hit=%.1f%% avg-lat=%.1f queue=%.2f\n",
+				m, *memModel, d.Reads, d.Writes, d.RowHitRate()*100, d.AvgLatency, d.AvgQueueDepth)
 		}
 		if *sysStats {
 			cs.Sys.StatsTable("system statistics (" + m + ")").WriteText(os.Stdout)
 			fmt.Println()
 		}
-		cs.Net.Close()
+		cs.Close()
 	}
 	core.LatencyTable(fmt.Sprintf("cosim: %s on %d tiles", *wlName, *tiles),
 		results).WriteText(os.Stdout)

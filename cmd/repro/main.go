@@ -25,6 +25,7 @@ func main() {
 	var (
 		exp       = flag.String("exp", "all", "experiment id (T1,F1..F8,T2,A1,A2) or 'all'")
 		scale     = flag.String("scale", "quick", "scale: quick|full")
+		mem       = flag.String("mem", "", "memory model for every run: fixed|ddr|abstract|calibrated (\"\" keeps the scale's default; A3 overrides per column)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
 		js        = flag.Bool("json", false, "emit JSON instead of text tables")
@@ -48,6 +49,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scale %q", *scale))
 	}
+	s.MemModel = *mem
 
 	var exps []expt.Experiment
 	if strings.EqualFold(*exp, "all") {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/calib"
 	"repro/internal/noc/topology"
 	"repro/internal/sim"
 )
@@ -141,21 +142,18 @@ func (c *Contention) Latency(src, dst, flits int, now sim.Cycle) float64 {
 // every synchronization quantum; Retune refits by least squares over
 // a sliding window. This is the "reciprocal" direction in which the
 // detailed component abstracts itself back to the system simulator.
+// The fit itself is the generic calib.Affine, shared with the abstract
+// memory oracle.
 type Tuned struct {
 	Base Model
 
-	alpha, beta float64
-	pred, obs   []float64
-	maxWindow   int
+	fit *calib.Affine
 }
 
 // NewTuned returns a tuned model wrapping base with an identity
 // correction and a sliding observation window of the given size.
 func NewTuned(base Model, window int) *Tuned {
-	if window < 8 {
-		window = 8
-	}
-	return &Tuned{Base: base, alpha: 1, beta: 0, maxWindow: window}
+	return &Tuned{Base: base, fit: calib.NewAffine(window)}
 }
 
 func (t *Tuned) Name() string { return fmt.Sprintf("tuned(%s)", t.Base.Name()) }
@@ -163,60 +161,26 @@ func (t *Tuned) Name() string { return fmt.Sprintf("tuned(%s)", t.Base.Name()) }
 func (t *Tuned) AdvanceTo(now sim.Cycle) { t.Base.AdvanceTo(now) }
 
 func (t *Tuned) Latency(src, dst, flits int, now sim.Cycle) float64 {
-	base := t.Base.Latency(src, dst, flits, now)
-	lat := t.alpha*base + t.beta
+	lat := t.fit.Apply(t.Base.Latency(src, dst, flits, now))
 	if lat < 1 {
 		lat = 1
 	}
 	return lat
 }
 
-// Predict reports the uncorrected base estimate without updating load
-// state beyond what Latency would; used when recording observations.
-func (t *Tuned) coeffs() (alpha, beta float64) { return t.alpha, t.beta }
+// Fit exposes the underlying affine correction, so a calibration
+// pairing (calib.Reciprocal) can feed it directly.
+func (t *Tuned) Fit() *calib.Affine { return t.fit }
+
+// coeffs reports the current correction for tests and tables.
+func (t *Tuned) coeffs() (alpha, beta float64) { return t.fit.Coeffs() }
 
 // Observe records one (base-model prediction, detailed observation)
 // latency pair.
-func (t *Tuned) Observe(predicted, observed float64) {
-	t.pred = append(t.pred, predicted)
-	t.obs = append(t.obs, observed)
-	if len(t.pred) > t.maxWindow {
-		drop := len(t.pred) - t.maxWindow
-		t.pred = append(t.pred[:0], t.pred[drop:]...)
-		t.obs = append(t.obs[:0], t.obs[drop:]...)
-	}
-}
+func (t *Tuned) Observe(predicted, observed float64) { t.fit.Observe(predicted, observed) }
 
-// Retune refits the affine correction by ordinary least squares over
-// the observation window. With fewer than two distinct predictions it
-// falls back to a pure offset correction.
-func (t *Tuned) Retune() {
-	n := float64(len(t.pred))
-	if n == 0 {
-		return
-	}
-	var sx, sy, sxx, sxy float64
-	for i := range t.pred {
-		x, y := t.pred[i], t.obs[i]
-		sx += x
-		sy += y
-		sxx += x * x
-		sxy += x * y
-	}
-	den := n*sxx - sx*sx
-	if den < 1e-9 {
-		t.alpha = 1
-		t.beta = (sy - sx) / n
-		return
-	}
-	t.alpha = (n*sxy - sx*sy) / den
-	t.beta = (sy - t.alpha*sx) / n
-	// Guard against a degenerate fit from a pathological window.
-	if t.alpha < 0.1 || t.alpha > 10 {
-		t.alpha = 1
-		t.beta = (sy - sx) / n
-	}
-}
+// Retune refits the affine correction over the observation window.
+func (t *Tuned) Retune() { t.fit.Retune() }
 
 // ObservationCount reports how many pairs are in the fit window.
-func (t *Tuned) ObservationCount() int { return len(t.pred) }
+func (t *Tuned) ObservationCount() int { return t.fit.ObservationCount() }

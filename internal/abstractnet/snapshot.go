@@ -63,13 +63,7 @@ func (c *Contention) RestoreFrom(d *snapshot.Decoder) error {
 // resumes mid-fit after a restore.
 func (t *Tuned) SnapshotTo(e *snapshot.Encoder) {
 	e.Section("model-tuned")
-	e.F64(t.alpha)
-	e.F64(t.beta)
-	e.U32(uint32(len(t.pred)))
-	for i := range t.pred {
-		e.F64(t.pred[i])
-		e.F64(t.obs[i])
-	}
+	t.fit.SnapshotTo(e)
 	base, ok := t.Base.(modelStater)
 	if !ok {
 		panic(fmt.Sprintf("abstractnet: base model %s does not support checkpointing", t.Base.Name()))
@@ -80,18 +74,8 @@ func (t *Tuned) SnapshotTo(e *snapshot.Encoder) {
 // RestoreFrom reloads the correction state written by SnapshotTo.
 func (t *Tuned) RestoreFrom(d *snapshot.Decoder) error {
 	d.Section("model-tuned")
-	t.alpha = d.F64()
-	t.beta = d.F64()
-	n := d.Count(16)
-	if d.Err() == nil && n > t.maxWindow {
-		d.Failf("tuned model window holds %d pairs, capacity %d", n, t.maxWindow)
-		return d.Err()
-	}
-	t.pred = t.pred[:0]
-	t.obs = t.obs[:0]
-	for i := 0; i < n; i++ {
-		t.pred = append(t.pred, d.F64())
-		t.obs = append(t.obs, d.F64())
+	if err := t.fit.RestoreFrom(d); err != nil {
+		return err
 	}
 	base, ok := t.Base.(modelStater)
 	if !ok {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/abstractnet"
+	"repro/internal/calib"
 	"repro/internal/noc"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -26,8 +27,11 @@ type Calibrated struct {
 	// RetunePeriod is how often (in cycles) the model refits.
 	RetunePeriod sim.Cycle
 
-	preds    map[*noc.Packet]float64
-	lastTune sim.Cycle
+	// pair is the calibration feed between the two fidelities: shadow
+	// packets carry the model prediction in, the detailed network's
+	// measured latencies come back as observations, and the shared fit
+	// refits once per RetunePeriod.
+	pair     *calib.Reciprocal[*noc.Packet]
 	shadowed uint64
 }
 
@@ -42,7 +46,7 @@ func NewCalibrated(detailed Backend, model *abstractnet.Tuned, retunePeriod sim.
 		model:        model,
 		timing:       abstractnet.NewNetwork(model),
 		RetunePeriod: retunePeriod,
-		preds:        make(map[*noc.Packet]float64),
+		pair:         calib.NewReciprocal[*noc.Packet](model.Fit(), retunePeriod),
 	}, nil
 }
 
@@ -57,7 +61,7 @@ func (c *Calibrated) Inject(p *noc.Packet, at sim.Cycle) {
 		Src: p.Src, Dst: p.Dst, VNet: p.VNet, Class: p.Class, Size: p.Size,
 	}
 	c.timing.Inject(p, at)
-	c.preds[shadow] = float64(p.DeliveredAt - p.CreatedAt)
+	c.pair.Predict(shadow, float64(p.DeliveredAt-p.CreatedAt))
 	c.detailed.Inject(shadow, at)
 	c.shadowed++
 }
@@ -69,18 +73,14 @@ func (c *Calibrated) Inject(p *noc.Packet, at sim.Cycle) {
 // drained observations re-tune the model.
 func (c *Calibrated) AdvanceTo(cy sim.Cycle) {
 	c.timing.AdvanceTo(cy)
-	if cy-c.lastTune < c.RetunePeriod {
+	if !c.pair.Due(cy) {
 		return
 	}
 	c.detailed.AdvanceTo(cy)
 	for _, p := range c.detailed.Drain() {
-		if pred, ok := c.preds[p]; ok {
-			c.model.Observe(pred, float64(p.TotalLatency()))
-			delete(c.preds, p)
-		}
+		c.pair.Observe(p, float64(p.TotalLatency()))
 	}
-	c.model.Retune()
-	c.lastTune = cy - cy%c.RetunePeriod
+	c.pair.MaybeRetune(cy)
 }
 
 // Drain implements Backend with the system-visible (model-timed)

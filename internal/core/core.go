@@ -21,6 +21,15 @@
 // model online, so hybrid sampling runs can fall back to the abstract
 // model between detailed windows without going back to its cold,
 // uncalibrated error.
+//
+// The mechanism generalizes beyond the network: any component that can
+// accept typed requests mid-window, advance to a quantum boundary in
+// one batch, and surface timestamped completions fits the Component
+// contract, and Cosim schedules all registered components per quantum.
+// Memory is the second instance — the directory talks to a memory
+// oracle (internal/dram.Oracle) whose detailed, abstract, and
+// calibrated implementations mirror the network backend lineup, with
+// the same calib.Reciprocal pairing driving online re-fit.
 package core
 
 import (
@@ -30,28 +39,43 @@ import (
 	"repro/internal/stats"
 )
 
-// Backend is a network implementation usable for co-simulation. The
-// coordinator injects timestamped packets, advances the backend to a
-// cycle, and drains timestamped deliveries.
-type Backend interface {
-	// Name identifies the backend in tables and logs.
+// Component is the contract every reciprocally abstracted component
+// presents to the quantum scheduler: typed requests go in mid-window
+// (through a component-specific enqueue surface), the component is
+// advanced to the next quantum boundary in one batch, and timestamped
+// completions come back out at the boundary. The network Backend below
+// and the memory oracles (internal/dram.Oracle, adapted in cosim.go)
+// are its two instances. Components advance over disjoint state, so a
+// multi-component Cosim may step them concurrently (see Cosim.Stepper)
+// with bit-identical results.
+type Component interface {
+	// Name identifies the component in tables and logs.
 	Name() string
-	// Inject queues a packet created at cycle `at`. Injections at each
-	// source must be in nondecreasing time order.
-	Inject(p *noc.Packet, at sim.Cycle)
 	// AdvanceTo simulates through the end of cycle c-1 so that
-	// deliveries with DeliveredAt <= c are available — a tail flit
+	// completions timestamped <= c are available — a tail flit
 	// switched during cycle c-1 reaches its NI at c (abstract
-	// backends simply move their clock).
+	// components simply move their clock).
 	AdvanceTo(c sim.Cycle)
+	// Close releases component resources.
+	Close()
+}
+
+// Backend is a network implementation usable for co-simulation: the
+// network instance of the Component contract. The coordinator injects
+// timestamped packets, advances the backend to a cycle, and drains
+// timestamped deliveries.
+type Backend interface {
+	Component
+	// Inject queues a packet created at cycle `at`. Injections at each
+	// source must be in nondecreasing time order (asserted under
+	// -tags simcheck by the SenderFor coordinator callback).
+	Inject(p *noc.Packet, at sim.Cycle)
 	// Drain returns newly available deliveries (slice reused).
 	Drain() []*noc.Packet
 	// Tracker reports latency statistics of drained packets.
 	Tracker() *stats.LatencyTracker
 	// InFlight reports injected-but-undrained packets.
 	InFlight() int
-	// Close releases backend resources.
-	Close()
 }
 
 // CycleNet is the cycle-level network behaviour the Detailed adapter

@@ -28,6 +28,27 @@ func abstractBackend() *Abstract {
 	return NewAbstract(abstractnet.NewNetwork(abstractnet.NewFixed(m, abstractnet.DefaultParams())))
 }
 
+// TestSenderForEnforcesInjectionOrder proves the documented
+// Backend.Inject contract is a checked invariant, not prose: a source
+// injecting at a cycle earlier than its previous injection must panic
+// under -tags simcheck.
+func TestSenderForEnforcesInjectionOrder(t *testing.T) {
+	if !sim.Checking {
+		t.Skip("injection-order assertion compiles in under -tags simcheck only")
+	}
+	send := SenderFor(abstractBackend())
+	m := fullsys.Msg{Type: fullsys.GetS, Src: 3, Dst: 7}
+	send(m, 10)
+	send(m, 10) // equal times are allowed
+	send(fullsys.Msg{Type: fullsys.GetS, Src: 4, Dst: 7}, 2) // other sources are independent
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order injection (cycle 9 after 10) did not panic")
+		}
+	}()
+	send(m, 9)
+}
+
 func TestDetailedBackendRoundTrip(t *testing.T) {
 	b := detailedBackend(t)
 	p := &noc.Packet{Src: 0, Dst: 15, VNet: 0, Size: 5}

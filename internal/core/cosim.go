@@ -6,12 +6,14 @@ import (
 
 	"repro/internal/fullsys"
 	"repro/internal/noc"
+	"repro/internal/noc/engine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
-// Cosim couples a full-system simulator to a network backend with
-// quantum-based reciprocal abstraction.
+// Cosim couples a full-system simulator to a set of reciprocally
+// abstracted components — the network backend plus any memory oracles
+// the system exposes — with quantum-based reciprocal abstraction.
 type Cosim struct {
 	// Sys is the coarse-grain full-system simulator.
 	Sys *fullsys.System
@@ -27,6 +29,20 @@ type Cosim struct {
 	// of silent cycle-limit exhaustion.
 	WatchdogQuanta int
 
+	// Stepper advances the registered components at each quantum
+	// boundary. nil (or engine.Sequential) steps them in registry
+	// order on the calling goroutine; engine.NewParallel(n) steps them
+	// concurrently. Components advance over disjoint state and their
+	// completions are applied sequentially in registry order after the
+	// barrier, so both engines are bit-identical (asserted by
+	// determinism tests).
+	Stepper engine.Engine
+
+	// comps is the component registry: Net first, then one component
+	// per memory controller oracle, in deterministic controller order.
+	comps    []Component
+	memPorts []fullsys.MemPort
+
 	cycle       sim.Cycle
 	skewSum     uint64
 	skewMax     sim.Cycle
@@ -38,20 +54,75 @@ type Cosim struct {
 	stalled     bool
 }
 
+// memComponent adapts one fullsys memory port (a tile's dram.Oracle)
+// to the Component contract.
+type memComponent struct {
+	port fullsys.MemPort
+}
+
+// Name implements Component.
+func (m memComponent) Name() string {
+	return fmt.Sprintf("mem%d-%s", m.port.Tile, m.port.Oracle.Name())
+}
+
+// AdvanceTo implements Component.
+func (m memComponent) AdvanceTo(c sim.Cycle) { m.port.Oracle.AdvanceTo(c) }
+
+// Close implements Component.
+func (m memComponent) Close() { m.port.Oracle.Close() }
+
 // New wires a system and a backend together. The system must have been
 // constructed with SenderFor(backend) as its send callback; use Build
-// for the common case.
+// for the common case. New claims the system's memory oracles (if its
+// memory model has any), registering them as components advanced at
+// quantum boundaries alongside the network.
 func New(sys *fullsys.System, backend Backend, quantum int) (*Cosim, error) {
 	if quantum < 1 {
 		return nil, fmt.Errorf("core: quantum must be >= 1, got %d", quantum)
 	}
-	return &Cosim{Sys: sys, Net: backend, Quantum: quantum, WatchdogQuanta: 1 << 20}, nil
+	c := &Cosim{Sys: sys, Net: backend, Quantum: quantum, WatchdogQuanta: 1 << 20}
+	c.memPorts = sys.ClaimMemory()
+	c.comps = append(c.comps, backend)
+	for _, p := range c.memPorts {
+		c.comps = append(c.comps, memComponent{port: p})
+	}
+	return c, nil
+}
+
+// Components lists the registered components (the network backend
+// first, then memory) in scheduling order.
+func (c *Cosim) Components() []Component {
+	out := make([]Component, len(c.comps))
+	copy(out, c.comps)
+	return out
+}
+
+// Close releases every registered component and the stepper.
+func (c *Cosim) Close() {
+	for _, comp := range c.comps {
+		comp.Close()
+	}
+	if c.Stepper != nil {
+		c.Stepper.Close()
+	}
 }
 
 // SenderFor returns the fullsys send callback that injects messages
-// into the backend as network packets.
+// into the backend as network packets. Under -tags simcheck it also
+// enforces the Backend.Inject contract: injections at each source must
+// be in nondecreasing time order.
 func SenderFor(backend Backend) fullsys.Sender {
+	var lastInject []sim.Cycle
 	return func(m fullsys.Msg, at sim.Cycle) {
+		if sim.Checking {
+			for len(lastInject) <= m.Src {
+				lastInject = append(lastInject, 0)
+			}
+			sim.Assert(at >= lastInject[m.Src],
+				"source %d injected at %v after injecting at %v: Backend.Inject requires nondecreasing per-source times",
+				m.Src, at, lastInject[m.Src])
+			lastInject[m.Src] = at
+		}
 		backend.Inject(&noc.Packet{
 			Src:     m.Src,
 			Dst:     m.Dst,
@@ -107,6 +178,20 @@ type Result struct {
 // Cycle reports the next cycle to simulate.
 func (c *Cosim) Cycle() sim.Cycle { return c.cycle }
 
+// advance moves every registered component to the quantum boundary —
+// through the stepper when one is set, in registry order otherwise.
+// Components own disjoint state, so the two paths are bit-identical.
+func (c *Cosim) advance(end sim.Cycle) {
+	if c.Stepper == nil {
+		for _, comp := range c.comps {
+			comp.AdvanceTo(end)
+		}
+		return
+	}
+	comps := c.comps
+	c.Stepper.Run(len(comps), func(i int) { comps[i].AdvanceTo(end) })
+}
+
 // Step advances the co-simulation by one quantum (or less, if the
 // workload finishes mid-quantum). It returns false when the workload
 // has completed.
@@ -117,7 +202,19 @@ func (c *Cosim) Step() bool {
 		c.Sys.Tick(t)
 	}
 	t1 := time.Now() //simlint:allow wallclock host-time split between the two simulators, never fed back into simulated state
-	c.Net.AdvanceTo(end)
+	c.advance(end)
+	// Memory completions apply before network deliveries: completions
+	// inside the simulated window clamp to end-1 (bounded skew, like
+	// network deliveries), and deliveries dispatch at >= end-1, so this
+	// order keeps every source's injection stream nondecreasing.
+	for _, mp := range c.memPorts {
+		for _, done := range mp.Oracle.Drain() {
+			sim.Assert(done.At >= c.cycle,
+				"memory oracle %q completed at %v, before the window start %v",
+				mp.Oracle.Name(), done.At, c.cycle)
+			c.Sys.CompleteMem(done.Meta, done.At)
+		}
+	}
 	for _, p := range c.Net.Drain() {
 		// Quantum-boundary invariants (compiled in under -tags
 		// simcheck): a backend advanced to `end` may only surface

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fullsys"
 	"repro/internal/noc"
+	"repro/internal/noc/engine"
 	"repro/internal/noc/topology"
 	"repro/internal/workload"
 )
@@ -19,11 +20,24 @@ import (
 // the system half of the coupling.
 func cosimFingerprint(t *testing.T, seed uint64, quantum int, backend func(t *testing.T) Backend) string {
 	t.Helper()
+	return cosimFingerprintCfg(t, seed, quantum, backend, nil, nil)
+}
+
+// cosimFingerprintCfg is cosimFingerprint with a config mutation (e.g.
+// a non-default memory model) and an optional component stepper.
+func cosimFingerprintCfg(t *testing.T, seed uint64, quantum int, backend func(t *testing.T) Backend,
+	mutate func(*fullsys.Config), stepper engine.Engine) string {
+	t.Helper()
 	wl := workload.NewFFT(16, 250, seed)
-	cs, err := Build(fullsys.DefaultConfig(16), wl, backend(t), quantum)
+	cfg := fullsys.DefaultConfig(16)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cs, err := Build(cfg, wl, backend(t), quantum)
 	if err != nil {
 		t.Fatal(err)
 	}
+	cs.Stepper = stepper
 	res := cs.Run(2_000_000)
 	if !res.Finished {
 		t.Fatalf("workload did not finish: %+v", res)
@@ -70,6 +84,35 @@ func TestCosimDeterministic(t *testing.T) {
 			t.Errorf("abstract co-simulation diverged\nrun1: %s\nrun2: %s", a, b)
 		}
 	})
+	for _, mem := range []string{"ddr", "abstract", "calibrated"} {
+		mem := mem
+		t.Run("mem-"+mem+"/q8", func(t *testing.T) {
+			setMem := func(cfg *fullsys.Config) { cfg.MemModel = mem }
+			a := cosimFingerprintCfg(t, 42, 8, detailedMeshBackend, setMem, nil)
+			b := cosimFingerprintCfg(t, 42, 8, detailedMeshBackend, setMem, nil)
+			if a != b {
+				t.Errorf("co-simulation with the %s memory model diverged\nrun1: %s\nrun2: %s", mem, a, b)
+			}
+		})
+	}
+}
+
+// TestCosimStepperBitIdentical is the concurrency guarantee of the
+// component framework: stepping the network and the memory oracles
+// with the parallel engine must produce outcomes bit-identical to the
+// sequential registry-order loop, because components advance over
+// disjoint state and completions are applied sequentially after the
+// barrier.
+func TestCosimStepperBitIdentical(t *testing.T) {
+	setMem := func(cfg *fullsys.Config) { cfg.MemModel = "ddr" }
+	seq := cosimFingerprintCfg(t, 42, 8, detailedMeshBackend, setMem, nil)
+
+	par := engine.NewParallel(4)
+	defer par.Close()
+	got := cosimFingerprintCfg(t, 42, 8, detailedMeshBackend, setMem, par)
+	if got != seq {
+		t.Errorf("parallel component stepping diverged from sequential\nseq: %s\npar: %s", seq, got)
+	}
 }
 
 // TestCosimFingerprintSensitive guards the guard: a different seed

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/abstractnet"
+	"repro/internal/calib"
 	"repro/internal/noc"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -24,10 +25,12 @@ type Hybrid struct {
 	// cycles with (t % Period) < SampleLen route to the detailed model.
 	Period, SampleLen sim.Cycle
 
-	preds    map[*noc.Packet]float64
+	// pair is the calibration feed between the two fidelities: sampled
+	// packets' predictions in, detailed observations out, one refit of
+	// the shared fit per Period.
+	pair     *calib.Reciprocal[*noc.Packet]
 	tracker  *stats.LatencyTracker
 	drainBuf []*noc.Packet
-	lastTune sim.Cycle
 }
 
 // NewHybrid builds a hybrid backend over a detailed backend and a
@@ -42,7 +45,7 @@ func NewHybrid(detailed Backend, tuned *abstractnet.Tuned, period, sampleLen sim
 		tuned:     tuned,
 		Period:    period,
 		SampleLen: sampleLen,
-		preds:     make(map[*noc.Packet]float64),
+		pair:      calib.NewReciprocal[*noc.Packet](tuned.Fit(), period),
 		tracker:   stats.NewLatencyTracker(4, 512),
 	}, nil
 }
@@ -60,7 +63,7 @@ func (h *Hybrid) inSample(t sim.Cycle) bool { return t%h.Period < h.SampleLen }
 // the delivery can become a calibration observation.
 func (h *Hybrid) Inject(p *noc.Packet, at sim.Cycle) {
 	if h.inSample(at) {
-		h.preds[p] = h.tuned.Latency(p.Src, p.Dst, p.Size, at)
+		h.pair.Predict(p, h.tuned.Latency(p.Src, p.Dst, p.Size, at))
 		h.detailed.Inject(p, at)
 		return
 	}
@@ -72,10 +75,7 @@ func (h *Hybrid) Inject(p *noc.Packet, at sim.Cycle) {
 func (h *Hybrid) AdvanceTo(c sim.Cycle) {
 	h.detailed.AdvanceTo(c)
 	h.abstract.AdvanceTo(c)
-	if c-h.lastTune >= h.Period {
-		h.tuned.Retune()
-		h.lastTune = c - c%h.Period
-	}
+	h.pair.MaybeRetune(c)
 }
 
 // Drain implements Backend, merging both sides' deliveries and feeding
@@ -83,10 +83,7 @@ func (h *Hybrid) AdvanceTo(c sim.Cycle) {
 func (h *Hybrid) Drain() []*noc.Packet {
 	out := h.drainBuf[:0]
 	for _, p := range h.detailed.Drain() {
-		if pred, ok := h.preds[p]; ok {
-			h.tuned.Observe(pred, float64(p.TotalLatency()))
-			delete(h.preds, p)
-		}
+		h.pair.Observe(p, float64(p.TotalLatency()))
 		h.tracker.Record(p.Class, float64(p.QueueingLatency()), float64(p.NetworkLatency()), p.Hops)
 		out = append(out, p)
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/fullsys"
 	"repro/internal/noc"
@@ -54,43 +53,30 @@ func (a *Abstract) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, tr
 	return a.Net.RestoreFrom(d, pc, track)
 }
 
-// encodePreds writes a pointer-keyed prediction map as (packet ID,
-// prediction) pairs in ID order. The packets are live in the network
-// whose snapshot precedes this in the stream, so IDs resolve on
-// restore.
-func encodePreds(e *snapshot.Encoder, preds map[*noc.Packet]float64) {
-	keys := make([]*noc.Packet, 0, len(preds))
-	//simlint:allow maprange entries are sorted by packet ID before use
-	for p := range preds {
-		keys = append(keys, p)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].ID < keys[j].ID })
-	e.U32(uint32(len(keys)))
-	for _, p := range keys {
-		e.U64(p.ID)
-		e.F64(preds[p])
-	}
-}
+// packetLess orders packets by ID for byte-stable snapshots of
+// packet-keyed calibration state.
+func packetLess(a, b *noc.Packet) bool { return a.ID < b.ID }
 
-// decodePreds rebuilds a prediction map against the restored packets
-// collected in byID.
-func decodePreds(d *snapshot.Decoder, byID map[uint64]*noc.Packet) map[*noc.Packet]float64 {
-	n := d.Count(16)
-	preds := make(map[*noc.Packet]float64, n)
-	for i := 0; i < n; i++ {
+// encodePacketKey writes a packet-keyed calibration entry as the packet
+// ID. The packets are live in the network whose snapshot precedes this
+// in the stream, so IDs resolve on restore.
+func encodePacketKey(e *snapshot.Encoder, p *noc.Packet) { e.U64(p.ID) }
+
+// decodePacketKey resolves a written packet ID against the restored
+// in-flight packets collected in byID.
+func decodePacketKey(byID map[uint64]*noc.Packet) func(*snapshot.Decoder) (*noc.Packet, error) {
+	return func(d *snapshot.Decoder) (*noc.Packet, error) {
 		id := d.U64()
-		pred := d.F64()
 		if d.Err() != nil {
-			return preds
+			return nil, d.Err()
 		}
 		p, ok := byID[id]
 		if !ok {
 			d.Failf("prediction refers to packet %d, which is not in flight", id)
-			return preds
+			return nil, d.Err()
 		}
-		preds[p] = pred
+		return p, nil
 	}
-	return preds
 }
 
 // SnapshotTo implements BackendStater for the sampling backend. The
@@ -98,7 +84,6 @@ func decodePreds(d *snapshot.Decoder, byID map[uint64]*noc.Packet) map[*noc.Pack
 // snapshot (they share the object), so it is not written separately.
 func (h *Hybrid) SnapshotTo(e *snapshot.Encoder, pc snapshot.PayloadCodec) {
 	e.Section("hybrid")
-	e.U64(uint64(h.lastTune))
 	h.tracker.SnapshotTo(e)
 	bs, ok := h.detailed.(BackendStater)
 	if !ok {
@@ -106,13 +91,12 @@ func (h *Hybrid) SnapshotTo(e *snapshot.Encoder, pc snapshot.PayloadCodec) {
 	}
 	bs.SnapshotTo(e, pc)
 	h.abstract.SnapshotTo(e, pc)
-	encodePreds(e, h.preds)
+	h.pair.SnapshotTo(e, packetLess, encodePacketKey)
 }
 
 // RestoreFrom implements BackendStater for the sampling backend.
 func (h *Hybrid) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, track func(*noc.Packet)) error {
 	d.Section("hybrid")
-	h.lastTune = sim.Cycle(d.U64())
 	if err := h.tracker.RestoreFrom(d); err != nil {
 		return err
 	}
@@ -134,7 +118,9 @@ func (h *Hybrid) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, trac
 	if err := h.abstract.RestoreFrom(d, pc, track); err != nil {
 		return err
 	}
-	h.preds = decodePreds(d, byID)
+	if err := h.pair.RestoreFrom(d, decodePacketKey(byID)); err != nil {
+		return err
+	}
 	h.drainBuf = h.drainBuf[:0]
 	return d.Err()
 }
@@ -145,7 +131,6 @@ func (h *Hybrid) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, trac
 // a nil codec regardless of pc.
 func (c *Calibrated) SnapshotTo(e *snapshot.Encoder, pc snapshot.PayloadCodec) {
 	e.Section("calibrated")
-	e.U64(uint64(c.lastTune))
 	e.U64(c.shadowed)
 	c.timing.SnapshotTo(e, pc)
 	bs, ok := c.detailed.(BackendStater)
@@ -153,13 +138,12 @@ func (c *Calibrated) SnapshotTo(e *snapshot.Encoder, pc snapshot.PayloadCodec) {
 		panic(fmt.Sprintf("core: calibrated detailed backend %q does not support checkpointing", c.detailed.Name()))
 	}
 	bs.SnapshotTo(e, nil)
-	encodePreds(e, c.preds)
+	c.pair.SnapshotTo(e, packetLess, encodePacketKey)
 }
 
 // RestoreFrom implements BackendStater for the calibrated backend.
 func (c *Calibrated) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, track func(*noc.Packet)) error {
 	d.Section("calibrated")
-	c.lastTune = sim.Cycle(d.U64())
 	c.shadowed = d.U64()
 	if err := c.timing.RestoreFrom(d, pc, track); err != nil {
 		return err
@@ -173,8 +157,7 @@ func (c *Calibrated) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, 
 	if err := bs.RestoreFrom(d, nil, func(p *noc.Packet) { byID[p.ID] = p }); err != nil {
 		return err
 	}
-	c.preds = decodePreds(d, byID)
-	return d.Err()
+	return c.pair.RestoreFrom(d, decodePacketKey(byID))
 }
 
 // SnapshotTo writes the full co-simulation state: coordinator

@@ -147,7 +147,16 @@ func (c *Controller) Pending() int { return len(c.queue) }
 // request whose bank and the data bus are available, preferring row
 // hits over older requests (FR-FCFS), and fires completions.
 func (c *Controller) Tick(now sim.Cycle) {
-	c.queueSamples.Add(float64(len(c.queue)))
+	// Sample only requests that have arrived by this tick, so the
+	// queue-depth statistic means the same thing under per-cycle and
+	// quantum-batched advancement.
+	depth := 0
+	for _, r := range c.queue {
+		if r.arrived <= now {
+			depth++
+		}
+	}
+	c.queueSamples.Add(float64(depth))
 	idx := c.pick(now)
 	if idx < 0 {
 		return
@@ -159,10 +168,17 @@ func (c *Controller) Tick(now sim.Cycle) {
 
 // pick selects the next request index under FR-FCFS: the oldest
 // row-hit whose bank is ready, else the oldest request whose bank is
-// ready; -1 when nothing can issue.
+// ready; -1 when nothing can issue. Requests that have not arrived yet
+// are skipped: under quantum-batched advancement (dram.DetailedOracle)
+// the controller replays a window of cycles after the caller has
+// enqueued the whole window's requests, so the queue can hold
+// requests from the tick's future.
 func (c *Controller) pick(now sim.Cycle) int {
 	oldest := -1
 	for i, r := range c.queue {
+		if r.arrived > now {
+			continue
+		}
 		b := &c.banks[r.bank]
 		if b.readyAt > now {
 			continue

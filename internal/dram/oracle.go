@@ -1,0 +1,350 @@
+package dram
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/calib"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Completion is one finished memory access surfaced at a drain point:
+// the core cycle the data transfer completed, and the caller's opaque
+// request identity (the fullsys memory message).
+type Completion struct {
+	At   sim.Cycle
+	Meta interface{}
+}
+
+// Oracle is the memory-side component contract of reciprocal
+// abstraction, mirroring the network Backend: the directory enqueues
+// typed requests, the coordinator (or the standalone system) advances
+// the oracle to a quantum boundary, and timestamped completions are
+// drained afterwards. Three fidelities implement it — the bank-level
+// controller (DetailedOracle), an analytical latency model
+// (AbstractOracle), and the calibrated pairing of the two
+// (CalibratedOracle) — selectable per run exactly like the network
+// abstraction level.
+type Oracle interface {
+	// Name identifies the oracle in tables and logs.
+	Name() string
+	// Enqueue accepts a request arriving at cycle now; it reports
+	// false when a bounded queue is full (the caller retries).
+	// Arrivals must be in nondecreasing time order.
+	Enqueue(line uint64, write bool, meta interface{}, now sim.Cycle) bool
+	// AdvanceTo simulates through the end of cycle c-1, so completions
+	// with At <= c are final.
+	AdvanceTo(c sim.Cycle)
+	// Drain returns completions produced since the last drain, in
+	// deterministic (completion time, arrival order) order. The
+	// returned slice is reused.
+	Drain() []Completion
+	// Pending reports accepted-but-uncompleted requests.
+	Pending() int
+	// Stats summarizes the oracle's behaviour: measured bank-level
+	// statistics for detailed and calibrated oracles, model-side
+	// latency for the pure abstract one.
+	Stats() Stats
+	// Close releases oracle resources.
+	Close()
+}
+
+// DetailedOracle adapts the bank-level Controller to the Oracle
+// contract: completions are buffered instead of fired through a
+// callback, so the controller can be advanced a whole quantum at a
+// time and drained at the boundary — the same exchange the detailed
+// NoC uses.
+type DetailedOracle struct {
+	ctl   *Controller
+	cycle sim.Cycle
+	buf   []Completion
+	out   []Completion
+}
+
+// NewDetailedOracle returns a detailed oracle over a fresh controller.
+func NewDetailedOracle(cfg Config) (*DetailedOracle, error) {
+	ctl, err := NewController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DetailedOracle{ctl: ctl}, nil
+}
+
+// Name implements Oracle.
+func (o *DetailedOracle) Name() string { return "dram-detailed" }
+
+// done returns the completion callback for a request: buffer the
+// completion for the next drain. Factored out so checkpoint restore
+// rebuilds the identical closure.
+func (o *DetailedOracle) done(meta interface{}) func(sim.Cycle) {
+	return func(at sim.Cycle) {
+		o.buf = append(o.buf, Completion{At: at, Meta: meta})
+	}
+}
+
+// Enqueue implements Oracle.
+func (o *DetailedOracle) Enqueue(line uint64, write bool, meta interface{}, now sim.Cycle) bool {
+	return o.ctl.Enqueue(&Request{
+		Line:  line,
+		Write: write,
+		Done:  o.done(meta),
+		Meta:  meta,
+	}, now)
+}
+
+// AdvanceTo implements Oracle by replaying the controller tick for
+// every cycle in the window. FR-FCFS issues in the same cycles it
+// would under per-cycle coupling because pick skips requests that
+// have not arrived at the replayed tick yet.
+func (o *DetailedOracle) AdvanceTo(c sim.Cycle) {
+	for ; o.cycle < c; o.cycle++ {
+		o.ctl.Tick(o.cycle)
+	}
+}
+
+// Drain implements Oracle. The controller issues at most one request
+// per tick and fires Done at issue, so the buffer is already in
+// deterministic issue order.
+func (o *DetailedOracle) Drain() []Completion {
+	o.out = append(o.out[:0], o.buf...)
+	o.buf = o.buf[:0]
+	return o.out
+}
+
+// Pending implements Oracle: queued plus completed-but-undrained.
+func (o *DetailedOracle) Pending() int { return o.ctl.Pending() + len(o.buf) }
+
+// Stats implements Oracle with the controller's measured statistics.
+func (o *DetailedOracle) Stats() Stats { return o.ctl.Snapshot() }
+
+// Controller exposes the underlying bank-level model (tests, tables).
+func (o *DetailedOracle) Controller() *Controller { return o.ctl }
+
+// Close implements Oracle.
+func (o *DetailedOracle) Close() {}
+
+// absPending is one analytically timed in-flight request.
+type absPending struct {
+	at   sim.Cycle
+	seq  uint64
+	meta interface{}
+}
+
+// absHeap orders pending completions by (completion time, arrival
+// sequence), the total order every drain follows.
+type absHeap []absPending
+
+func (h absHeap) Len() int { return len(h) }
+func (h absHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h absHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *absHeap) Push(x interface{}) { *h = append(*h, x.(absPending)) }
+func (h *absHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = absPending{}
+	*h = old[:n-1]
+	return p
+}
+
+// AbstractOracle is the analytical memory model: a fixed base access
+// latency plus controller-occupancy serialization, corrected by an
+// online-tuned affine fit — the memory twin of abstractnet's fixed
+// model wrapped in Tuned. Completion times are resolved analytically
+// at Enqueue, mirroring abstractnet.Network.
+type AbstractOracle struct {
+	baseLat   float64
+	occupancy sim.Cycle
+	fit       *calib.Affine
+
+	nextFree sim.Cycle
+	cycle    sim.Cycle
+	seq      uint64
+
+	pending absHeap
+	out     []Completion
+
+	reads, writes uint64
+	latency       stats.Running
+}
+
+// NewAbstractOracle returns an abstract oracle with the given base
+// access latency, per-request occupancy, and fit window.
+func NewAbstractOracle(baseLat, occupancy, window int) (*AbstractOracle, error) {
+	if baseLat < 1 || occupancy < 1 {
+		return nil, fmt.Errorf("dram: invalid abstract oracle latency=%d occupancy=%d", baseLat, occupancy)
+	}
+	return &AbstractOracle{
+		baseLat:   float64(baseLat),
+		occupancy: sim.Cycle(occupancy),
+		fit:       calib.NewAffine(window),
+	}, nil
+}
+
+// Name implements Oracle.
+func (o *AbstractOracle) Name() string { return "dram-abstract" }
+
+// Fit exposes the affine correction the calibration feed re-tunes.
+func (o *AbstractOracle) Fit() *calib.Affine { return o.fit }
+
+// enqueue resolves the completion analytically and reports the
+// predicted total latency (queueing + corrected access) in cycles.
+func (o *AbstractOracle) enqueue(write bool, meta interface{}, now sim.Cycle) float64 {
+	start := now
+	if o.nextFree > start {
+		start = o.nextFree
+	}
+	o.nextFree = start + o.occupancy
+	lat := o.fit.Apply(o.baseLat)
+	if lat < 1 {
+		lat = 1
+	}
+	at := start + sim.Cycle(lat+0.5)
+	heap.Push(&o.pending, absPending{at: at, seq: o.seq, meta: meta})
+	o.seq++
+	if write {
+		o.writes++
+	} else {
+		o.reads++
+	}
+	total := float64(at - now)
+	o.latency.Add(total)
+	return total
+}
+
+// Enqueue implements Oracle; the analytical queue is unbounded.
+func (o *AbstractOracle) Enqueue(line uint64, write bool, meta interface{}, now sim.Cycle) bool {
+	o.enqueue(write, meta, now)
+	return true
+}
+
+// AdvanceTo implements Oracle by moving the analytical clock.
+func (o *AbstractOracle) AdvanceTo(c sim.Cycle) { o.cycle = c }
+
+// Drain implements Oracle, popping completions due by the clock.
+func (o *AbstractOracle) Drain() []Completion {
+	out := o.out[:0]
+	for o.pending.Len() > 0 && o.pending[0].at <= o.cycle {
+		p := heap.Pop(&o.pending).(absPending)
+		out = append(out, Completion{At: p.at, Meta: p.meta})
+	}
+	o.out = out
+	return out
+}
+
+// Pending implements Oracle.
+func (o *AbstractOracle) Pending() int { return o.pending.Len() }
+
+// Stats implements Oracle with model-side statistics: request counts
+// and the mean analytical latency; there are no banks to report on.
+func (o *AbstractOracle) Stats() Stats {
+	return Stats{
+		Reads:      o.reads,
+		Writes:     o.writes,
+		AvgLatency: o.latency.Mean(),
+	}
+}
+
+// Close implements Oracle.
+func (o *AbstractOracle) Close() {}
+
+// CalibratedOracle is the reciprocal pairing of the two memory
+// fidelities, mirroring the calibrated network backend: the system's
+// completion timing comes from the abstract model, while every request
+// is also replicated into the bank-level controller, whose measured
+// latencies feed the shared affine fit back through a
+// calib.Reciprocal — so the analytical latency tracks the detailed
+// component's behaviour online.
+type CalibratedOracle struct {
+	abs  *AbstractOracle
+	det  *DetailedOracle
+	pair *calib.Reciprocal[uint64]
+
+	shadowSeq uint64
+	arrived   map[uint64]sim.Cycle
+}
+
+// NewCalibratedOracle pairs a fresh detailed controller with an
+// abstract model; observations refit the model every retune cycles.
+func NewCalibratedOracle(cfg Config, baseLat, occupancy, window int, retune sim.Cycle) (*CalibratedOracle, error) {
+	abs, err := NewAbstractOracle(baseLat, occupancy, window)
+	if err != nil {
+		return nil, err
+	}
+	det, err := NewDetailedOracle(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CalibratedOracle{
+		abs:     abs,
+		det:     det,
+		pair:    calib.NewReciprocal[uint64](abs.Fit(), retune),
+		arrived: make(map[uint64]sim.Cycle),
+	}, nil
+}
+
+// Name implements Oracle.
+func (o *CalibratedOracle) Name() string { return "dram-calibrated" }
+
+// Enqueue implements Oracle: the caller-visible completion is timed by
+// the abstract model; a shadow copy carries the measurement through
+// the bank-level controller. A full shadow queue only costs the
+// observation — the caller's request is never rejected.
+func (o *CalibratedOracle) Enqueue(line uint64, write bool, meta interface{}, now sim.Cycle) bool {
+	pred := o.abs.enqueue(write, meta, now)
+	id := o.shadowSeq
+	o.shadowSeq++
+	if o.det.Enqueue(line, write, id, now) {
+		o.pair.Predict(id, pred)
+		o.arrived[id] = now
+	}
+	return true
+}
+
+// AdvanceTo implements Oracle, advancing both fidelities and feeding
+// the shadow controller's completions back as calibration
+// observations.
+func (o *CalibratedOracle) AdvanceTo(c sim.Cycle) {
+	o.abs.AdvanceTo(c)
+	o.det.AdvanceTo(c)
+	for _, comp := range o.det.Drain() {
+		id := comp.Meta.(uint64)
+		if at, ok := o.arrived[id]; ok {
+			o.pair.Observe(id, float64(comp.At-at))
+			delete(o.arrived, id)
+		}
+	}
+	o.pair.MaybeRetune(c)
+}
+
+// Drain implements Oracle with the model-timed completions.
+func (o *CalibratedOracle) Drain() []Completion { return o.abs.Drain() }
+
+// Pending implements Oracle; system progress depends on the timing
+// side only.
+func (o *CalibratedOracle) Pending() int { return o.abs.Pending() }
+
+// Stats implements Oracle with the DETAILED controller's measured
+// statistics — the reciprocal measurement taken on the system's real
+// memory traffic.
+func (o *CalibratedOracle) Stats() Stats { return o.det.Stats() }
+
+// ModelAvgLatency reports the abstract side's mean latency, which the
+// A3 experiment compares against the measured one.
+func (o *CalibratedOracle) ModelAvgLatency() float64 { return o.abs.latency.Mean() }
+
+// Fit exposes the shared affine correction (tests inspect the fit).
+func (o *CalibratedOracle) Fit() *calib.Affine { return o.abs.Fit() }
+
+// Observations reports how many shadow measurements reached the fit
+// window.
+func (o *CalibratedOracle) Observations() int { return o.abs.Fit().ObservationCount() }
+
+// Close implements Oracle.
+func (o *CalibratedOracle) Close() {}

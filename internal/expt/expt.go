@@ -38,6 +38,9 @@ type Scale struct {
 	SpeedOps int
 	// Workers is the parallel engine width for GPU runs (0 = cores).
 	Workers int
+	// MemModel selects the memory oracle (fixed|ddr|abstract|calibrated;
+	// "" keeps the fixed default). A3 overrides it per column.
+	MemModel string
 }
 
 // Quick returns the benchmark/test scale: small enough for CI, big
@@ -83,6 +86,7 @@ type runKey struct {
 	ops     int
 	quantum int
 	seed    uint64
+	mem     string
 }
 
 var runMemo = map[runKey]core.Result{}
@@ -90,13 +94,16 @@ var runMemo = map[runKey]core.Result{}
 // run executes one co-simulation of the named workload under a mode,
 // memoizing by configuration.
 func (s Scale) run(mode repro.Mode, wlName string) (core.Result, error) {
-	key := runKey{mode, wlName, s.Cores, s.OpsPerCore, s.Quantum, s.Seed}
+	key := runKey{mode, wlName, s.Cores, s.OpsPerCore, s.Quantum, s.Seed, s.MemModel}
 	if r, ok := runMemo[key]; ok {
 		return r, nil
 	}
 	cfg := repro.DefaultConfig(s.Cores)
 	cfg.Quantum = s.Quantum
 	cfg.Workers = s.Workers
+	if s.MemModel != "" {
+		cfg.System.MemModel = s.MemModel
+	}
 	wl, err := workload.ByName(wlName, s.Cores, s.OpsPerCore, s.Seed)
 	if err != nil {
 		return core.Result{}, err
@@ -105,7 +112,7 @@ func (s Scale) run(mode repro.Mode, wlName string) (core.Result, error) {
 	if err != nil {
 		return core.Result{}, err
 	}
-	defer cs.Net.Close()
+	defer cs.Close()
 	res := cs.Run(s.CycleLimit)
 	if !res.Finished {
 		return res, fmt.Errorf("expt: %s/%s hit the cycle limit", mode, wlName)
@@ -146,7 +153,7 @@ func All() []Experiment {
 		{"T2", "NoC design-space exploration under co-simulation", TableT2},
 		{"A1", "Hybrid sampling ablation", FigureA1},
 		{"A2", "Parallel engine scaling", FigureA2},
-		{"A3", "Detailed DRAM model under co-simulation", FigureA3},
+		{"A3", "Memory abstraction levels under co-simulation", FigureA3},
 		{"A4", "NoC energy under co-simulation", FigureA4},
 		{"A5", "Router architecture: VC vs deflection under co-simulation", FigureA5},
 	}

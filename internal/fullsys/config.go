@@ -48,12 +48,21 @@ type Config struct {
 	MemControllers []int
 
 	// MemModel selects the memory-controller fidelity: "fixed" (the
-	// default analytical latency + occupancy model) or "ddr" (the
-	// detailed bank-level model in internal/dram) — the framework's
-	// second detailed component.
+	// default inline latency + occupancy model), "ddr" (the detailed
+	// bank-level model in internal/dram), "abstract" (the analytical
+	// memory oracle: MemLat + occupancy with an online-tunable affine
+	// correction), or "calibrated" (abstract timing with the bank-level
+	// model shadowing all traffic and re-fitting the correction) — the
+	// framework's second reciprocally coupled component.
 	MemModel string
-	// DRAM parameterizes the detailed model when MemModel is "ddr".
+	// DRAM parameterizes the detailed model for "ddr" and "calibrated".
 	DRAM dram.Config
+	// MemTuneWindow is the abstract memory model's sliding
+	// observation-window size for "abstract" and "calibrated".
+	MemTuneWindow int
+	// MemRetune is the calibrated memory model's refit period in
+	// cycles.
+	MemRetune int
 
 	// PrefetchDegree enables a next-line L1 prefetcher: on each demand
 	// load miss the core issues read requests for the following N
@@ -80,9 +89,11 @@ func DefaultConfig(tiles int) Config {
 		DirLat:      4,
 		MemLat:      100,
 		MCOccupancy: 4,
-		MemModel:    "fixed",
-		DRAM:        dram.DefaultConfig(),
-		PrefetchMax: 2,
+		MemModel:      "fixed",
+		DRAM:          dram.DefaultConfig(),
+		MemTuneWindow: 1024,
+		MemRetune:     1024,
+		PrefetchMax:   2,
 	}
 }
 
@@ -120,6 +131,18 @@ func (c Config) Validate() error {
 	case "ddr":
 		if err := c.DRAM.Validate(); err != nil {
 			return err
+		}
+	case "abstract":
+		if c.MemTuneWindow < 1 {
+			return fmt.Errorf("fullsys: memory tune window must be >= 1, got %d", c.MemTuneWindow)
+		}
+	case "calibrated":
+		if err := c.DRAM.Validate(); err != nil {
+			return err
+		}
+		if c.MemTuneWindow < 1 || c.MemRetune < 1 {
+			return fmt.Errorf("fullsys: invalid memory calibration window=%d retune=%d",
+				c.MemTuneWindow, c.MemRetune)
 		}
 	default:
 		return fmt.Errorf("fullsys: unknown memory model %q", c.MemModel)

@@ -3,7 +3,6 @@ package fullsys
 import (
 	"fmt"
 
-	"repro/internal/dram"
 	"repro/internal/sim"
 )
 
@@ -364,8 +363,8 @@ func (t *Tile) handleMC(now sim.Cycle, m Msg) {
 	if m.Type != MemRead && m.Type != MemWrite {
 		panic(fmt.Sprintf("fullsys: MC %d got unexpected %v", t.id, m))
 	}
-	if t.dramCtl != nil {
-		t.handleMCDetailed(now, m)
+	if t.memOracle != nil {
+		t.handleMCOracle(now, m)
 		return
 	}
 	if t.mcNextFree < now {
@@ -385,27 +384,17 @@ func (t *Tile) handleMC(now sim.Cycle, m Msg) {
 	}
 }
 
-// handleMCDetailed routes the access through the bank-level model. The
-// home's victim buffer guarantees no read/write overlap per line, so
-// applying the write and reading the value at completion time is safe
-// even though FR-FCFS reorders across lines.
-func (t *Tile) handleMCDetailed(now sim.Cycle, m Msg) {
-	req := &dram.Request{
-		Line:  m.Line,
-		Write: m.Type == MemWrite,
-		// FR-FCFS completes requests out of arrival order, and Done
-		// fires at issue time with a future completion cycle, so the
-		// response must go through the event queue: events fire in
-		// simulation-time order, which keeps each (source, vnet)
-		// injection stream monotonic as the network requires. Meta
-		// keeps the originating message so a checkpoint of the DRAM
-		// queue can rebuild this callback.
-		Done: func(at sim.Cycle) {
-			t.sys.events.Schedule(at, sysEvent{kind: evDramDone, msg: m})
-		},
-		Meta: m,
-	}
-	if !t.dramCtl.Enqueue(req, now) {
+// handleMCOracle routes the access through the tile's memory oracle
+// (detailed, abstract, or calibrated). The home's victim buffer
+// guarantees no read/write overlap per line, so applying the write and
+// reading the value at completion time is safe even though FR-FCFS
+// reorders across lines. Completions come back through
+// System.CompleteMem — either from the standalone self-advance in Tick
+// or from a co-simulation coordinator at quantum boundaries — and
+// always flow through the event queue, which keeps each (source, vnet)
+// injection stream monotonic as the network requires.
+func (t *Tile) handleMCOracle(now sim.Cycle, m Msg) {
+	if !t.memOracle.Enqueue(m.Line, m.Type == MemWrite, m, now) {
 		// Bounded queue full: retry next cycle.
 		t.sys.events.Schedule(now+1, sysEvent{kind: evMCRetry, msg: m})
 	}

@@ -43,7 +43,7 @@ func (s *System) fire(at sim.Cycle, ev sysEvent) {
 	case evDramDone:
 		s.dramDone(at, ev.msg)
 	case evMCRetry:
-		s.tiles[ev.msg.Dst].handleMCDetailed(at, ev.msg)
+		s.tiles[ev.msg.Dst].handleMCOracle(at, ev.msg)
 	default:
 		panic(fmt.Sprintf("fullsys: unknown event kind %d", ev.kind))
 	}

@@ -283,10 +283,10 @@ func (t *Tile) snapshotTo(e *snapshot.Encoder) {
 		}
 	}
 	e.U64(uint64(t.mcNextFree))
-	e.Bool(t.dramCtl != nil)
-	if t.dramCtl != nil {
-		t.dramCtl.SnapshotTo(e, func(e *snapshot.Encoder, r *dram.Request) {
-			encodeMsg(e, r.Meta.(Msg))
+	e.Bool(t.memOracle != nil)
+	if t.memOracle != nil {
+		t.memOracle.(dram.OracleStater).SnapshotTo(e, func(e *snapshot.Encoder, meta interface{}) {
+			encodeMsg(e, meta.(Msg))
 		})
 	}
 }
@@ -422,29 +422,21 @@ func (t *Tile) restoreFrom(d *snapshot.Decoder) error {
 		}
 	}
 	t.mcNextFree = sim.Cycle(d.U64())
-	hasDram := d.Bool()
-	if d.Err() == nil && hasDram != (t.dramCtl != nil) {
-		d.Failf("DRAM controller presence mismatch: snapshot %v, target %v", hasDram, t.dramCtl != nil)
+	hasOracle := d.Bool()
+	if d.Err() == nil && hasOracle != (t.memOracle != nil) {
+		d.Failf("memory oracle presence mismatch: snapshot %v, target %v", hasOracle, t.memOracle != nil)
 	}
-	if d.Err() == nil && hasDram {
-		err := t.dramCtl.RestoreFrom(d, func(d *snapshot.Decoder, r *dram.Request) error {
+	if d.Err() == nil && hasOracle {
+		err := t.memOracle.(dram.OracleStater).RestoreFrom(d, func(d *snapshot.Decoder) (interface{}, error) {
 			m, err := s.decodeMsg(d)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if m.Type != MemRead && m.Type != MemWrite {
-				d.Failf("DRAM request metadata has non-memory message %v", m)
-				return d.Err()
+				d.Failf("memory oracle metadata has non-memory message %v", m)
+				return nil, d.Err()
 			}
-			if m.Line != r.Line || (m.Type == MemWrite) != r.Write {
-				d.Failf("DRAM request metadata %v disagrees with request line %#x write=%v", m, r.Line, r.Write)
-				return d.Err()
-			}
-			r.Meta = m
-			r.Done = func(at sim.Cycle) {
-				s.events.Schedule(at, sysEvent{kind: evDramDone, msg: m})
-			}
-			return d.Err()
+			return m, d.Err()
 		})
 		if err != nil {
 			return err

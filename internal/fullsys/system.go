@@ -29,6 +29,12 @@ type System struct {
 	mcList  []int
 	mcIndex map[int]bool
 
+	// memClaimed marks that a co-simulation coordinator owns
+	// memory-oracle advancement (see ClaimMemory). Until then the
+	// system self-advances its oracles every Tick, so a standalone
+	// System works without a coordinator.
+	memClaimed bool
+
 	msgsSent   uint64
 	flitsSent  uint64
 	localMsgs  uint64
@@ -59,15 +65,31 @@ func New(cfg Config, wl Workload, send Sender) (*System, error) {
 	for _, mc := range s.mcList {
 		s.tiles[mc].mem = make(map[uint64]uint64)
 		s.mcIndex[mc] = true
-		if cfg.MemModel == "ddr" {
-			ctl, err := dram.NewController(cfg.DRAM)
-			if err != nil {
-				return nil, err
-			}
-			s.tiles[mc].dramCtl = ctl
+		oracle, err := newMemOracle(cfg)
+		if err != nil {
+			return nil, err
 		}
+		s.tiles[mc].memOracle = oracle
 	}
 	return s, nil
+}
+
+// newMemOracle builds one memory controller's oracle for the
+// configured fidelity; nil selects the inline fixed path.
+func newMemOracle(cfg Config) (dram.Oracle, error) {
+	switch cfg.MemModel {
+	case "", "fixed":
+		return nil, nil
+	case "ddr":
+		return dram.NewDetailedOracle(cfg.DRAM)
+	case "abstract":
+		return dram.NewAbstractOracle(cfg.MemLat, cfg.MCOccupancy, cfg.MemTuneWindow)
+	case "calibrated":
+		return dram.NewCalibratedOracle(cfg.DRAM, cfg.MemLat, cfg.MCOccupancy,
+			cfg.MemTuneWindow, sim.Cycle(cfg.MemRetune))
+	default:
+		return nil, fmt.Errorf("fullsys: unknown memory model %q", cfg.MemModel)
+	}
 }
 
 // Cfg reports the system configuration.
@@ -95,14 +117,70 @@ func (s *System) Tick(now sim.Cycle) {
 		}
 		s.fire(d.When, d.Item)
 	}
-	for _, mc := range s.mcList {
-		if ctl := s.tiles[mc].dramCtl; ctl != nil {
-			ctl.Tick(now)
+	if !s.memClaimed {
+		// Standalone operation: advance each memory oracle through
+		// this cycle and turn its completions into events, exactly
+		// where the per-cycle controller tick used to run. Under a
+		// coordinator (ClaimMemory) the oracles advance a quantum at
+		// a time instead.
+		for _, mc := range s.mcList {
+			o := s.tiles[mc].memOracle
+			if o == nil {
+				continue
+			}
+			o.AdvanceTo(now + 1)
+			for _, c := range o.Drain() {
+				s.CompleteMem(c.Meta, c.At)
+			}
 		}
 	}
 	for _, t := range s.tiles {
 		t.tick(now)
 	}
+}
+
+// MemPort is one memory controller exposed as a co-simulation
+// component: the hosting tile and its oracle.
+type MemPort struct {
+	Tile   int
+	Oracle dram.Oracle
+}
+
+// ClaimMemory transfers ownership of memory-oracle advancement to a
+// co-simulation coordinator: after this call, Tick no longer advances
+// the oracles, and the coordinator must AdvanceTo each quantum
+// boundary and hand drained completions back through CompleteMem. The
+// ports are returned in deterministic controller order. It returns nil
+// under the inline fixed model; claiming twice panics.
+func (s *System) ClaimMemory() []MemPort {
+	if s.memClaimed {
+		panic("fullsys: memory oracles already claimed by a coordinator")
+	}
+	s.memClaimed = true
+	var ports []MemPort
+	for _, mc := range s.mcList {
+		if o := s.tiles[mc].memOracle; o != nil {
+			ports = append(ports, MemPort{Tile: mc, Oracle: o})
+		}
+	}
+	return ports
+}
+
+// CompleteMem applies one drained memory completion: the data access
+// and the response message fire at the completion cycle when it is
+// still in the future, and are clamped to the current cycle otherwise
+// — the same bounded skew Deliver applies to network deliveries that
+// complete inside an already simulated quantum.
+func (s *System) CompleteMem(meta interface{}, at sim.Cycle) {
+	m, ok := meta.(Msg)
+	if !ok {
+		panic(fmt.Sprintf("fullsys: memory completion carries %T, want Msg", meta))
+	}
+	if at <= s.now {
+		s.dramDone(s.now, m)
+		return
+	}
+	s.events.Schedule(at, sysEvent{kind: evDramDone, msg: m})
 }
 
 // Deliver hands a network-delivered message to its destination tile.
@@ -205,18 +283,31 @@ func (s *System) FlitsSent() uint64 { return s.flitsSent }
 // LocalMsgs reports messages short-circuited to the local bank.
 func (s *System) LocalMsgs() uint64 { return s.localMsgs }
 
-// DRAMStats aggregates detailed memory-controller statistics; the
-// zero value is returned under the fixed model.
+// MemOracles lists the memory oracles in deterministic controller
+// order; empty under the inline fixed model. Available whether or not
+// a coordinator has claimed them.
+func (s *System) MemOracles() []dram.Oracle {
+	var out []dram.Oracle
+	for _, mc := range s.mcList {
+		if o := s.tiles[mc].memOracle; o != nil {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// DRAMStats aggregates memory-controller statistics across oracles;
+// the zero value is returned under the fixed model.
 func (s *System) DRAMStats() dram.Stats {
 	var agg dram.Stats
 	n := 0
 	var latSum, qSum float64
 	for _, mc := range s.mcList {
-		ctl := s.tiles[mc].dramCtl
-		if ctl == nil {
+		o := s.tiles[mc].memOracle
+		if o == nil {
 			continue
 		}
-		st := ctl.Snapshot()
+		st := o.Stats()
 		agg.Reads += st.Reads
 		agg.Writes += st.Writes
 		agg.RowHits += st.RowHits

@@ -98,7 +98,9 @@ type Tile struct {
 	// Memory controller side (nil when the tile hosts no MC).
 	mem        map[uint64]uint64
 	mcNextFree sim.Cycle
-	dramCtl    *dram.Controller // non-nil when MemModel is "ddr"
+	// memOracle is the reciprocally coupled memory component; non-nil
+	// for every MemModel except the inline "fixed" path.
+	memOracle dram.Oracle
 }
 
 // vbEntry is a dirty L2 victim awaiting MemWAck; outstanding counts

@@ -43,7 +43,11 @@ const Magic = "RECOSNAP"
 
 // FormatVersion is the checkpoint format produced by this build.
 // Decoding any other version fails with ErrVersion.
-const FormatVersion uint32 = 1
+//
+// History: 1 — initial format; 2 — component-registry layout (memory
+// oracles snapshotted per tile, calibration pairs via calib.Reciprocal
+// sections).
+const FormatVersion uint32 = 2
 
 const (
 	headerLen  = len(Magic) + 4 + 8 // magic + version + config digest

@@ -102,6 +102,11 @@ type Config struct {
 	Quantum int
 	// Workers sizes the parallel engine for GPU mode (0 = GOMAXPROCS).
 	Workers int
+	// ComponentWorkers > 1 steps independent co-simulation components
+	// (network backend, memory oracles) concurrently at each quantum
+	// boundary; 0 or 1 steps them sequentially. Results are
+	// bit-identical either way.
+	ComponentWorkers int
 	// Device is the modelled coprocessor for GPU mode.
 	Device gpu.Device
 	// HybridPeriod and HybridSample schedule hybrid mode in cycles.
@@ -265,5 +270,12 @@ func BuildCosim(cfg Config, mode Mode, wl fullsys.Workload) (*core.Cosim, error)
 	}
 	sysCfg := cfg.System
 	sysCfg.Tiles = cfg.Tiles
-	return core.Build(sysCfg, wl, backend, quantum)
+	cs, err := core.Build(sysCfg, wl, backend, quantum)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ComponentWorkers > 1 {
+		cs.Stepper = engine.NewParallel(cfg.ComponentWorkers)
+	}
+	return cs, nil
 }

@@ -1,41 +1,56 @@
 package repro
 
 import (
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/workload"
 )
 
 var updateGolden = flag.Bool("update-golden", false,
 	"regenerate testdata golden checkpoint and fingerprint")
 
-// ckptCase is one (mode, router architecture) co-simulation variant.
+// ckptCase is one (mode, router architecture, memory model)
+// co-simulation variant.
 type ckptCase struct {
 	name string
 	mode Mode
 	arch string // RouterArch; "" keeps the vc default
+	mem  string // System.MemModel; "" keeps the fixed default
 }
 
-// checkpointCases covers every co-simulation mode, and both detailed
-// router engines for the modes that run one.
+// checkpointCases covers every co-simulation mode, both detailed
+// router engines for the modes that run one, and every memory model:
+// the detailed DRAM oracle under all seven network modes, plus the
+// abstract and calibrated memory oracles.
 func checkpointCases() []ckptCase {
 	cases := []ckptCase{
-		{"synchronous", ModeSynchronous, ""},
-		{"abstract", ModeAbstract, ""},
-		{"contention", ModeContention, ""},
-		{"reciprocal", ModeReciprocal, ""},
-		{"reciprocal-gpu", ModeReciprocalGPU, ""},
-		{"hybrid", ModeHybrid, ""},
-		{"calibrated", ModeCalibrated, ""},
-		{"synchronous/deflect", ModeSynchronous, "deflect"},
-		{"reciprocal/deflect", ModeReciprocal, "deflect"},
+		{"synchronous", ModeSynchronous, "", ""},
+		{"abstract", ModeAbstract, "", ""},
+		{"contention", ModeContention, "", ""},
+		{"reciprocal", ModeReciprocal, "", ""},
+		{"reciprocal-gpu", ModeReciprocalGPU, "", ""},
+		{"hybrid", ModeHybrid, "", ""},
+		{"calibrated", ModeCalibrated, "", ""},
+		{"synchronous/deflect", ModeSynchronous, "deflect", ""},
+		{"reciprocal/deflect", ModeReciprocal, "deflect", ""},
 	}
+	for _, m := range Modes() {
+		cases = append(cases, ckptCase{string(m) + "/ddr", m, "", "ddr"})
+	}
+	cases = append(cases,
+		ckptCase{"reciprocal/mem-abstract", ModeReciprocal, "", "abstract"},
+		ckptCase{"reciprocal/mem-calibrated", ModeReciprocal, "", "calibrated"},
+	)
 	return cases
 }
 
@@ -43,6 +58,9 @@ func ckptConfig(c ckptCase) Config {
 	cfg := DefaultConfig(16)
 	if c.arch != "" {
 		cfg.RouterArch = c.arch
+	}
+	if c.mem != "" {
+		cfg.System.MemModel = c.mem
 	}
 	return cfg
 }
@@ -53,7 +71,7 @@ func buildCkptCosim(t *testing.T, c ckptCase, seed uint64) *core.Cosim {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(cs.Net.Close)
+	t.Cleanup(cs.Close)
 	return cs
 }
 
@@ -138,7 +156,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 // TestCheckpointConfigMismatch proves the digest guard: a snapshot
 // must not restore into a co-simulation built differently.
 func TestCheckpointConfigMismatch(t *testing.T) {
-	c := ckptCase{"reciprocal", ModeReciprocal, ""}
+	c := ckptCase{"reciprocal", ModeReciprocal, "", ""}
 	cs := buildCkptCosim(t, c, 42)
 	cs.Run(ckptAt)
 	digest := ConfigDigest(ckptConfig(c), c.mode, "fft-16-250-42")
@@ -160,7 +178,7 @@ func TestCheckpointConfigMismatch(t *testing.T) {
 // interrupted at a checkpoint file and resumed by a second process
 // reports the same statistics as an uninterrupted run.
 func TestRunResumable(t *testing.T) {
-	c := ckptCase{"reciprocal", ModeReciprocal, ""}
+	c := ckptCase{"reciprocal", ModeReciprocal, "", ""}
 	digest := ConfigDigest(ckptConfig(c), c.mode, "fft-16-250-42")
 
 	ref := buildCkptCosim(t, c, 42)
@@ -199,12 +217,46 @@ func TestRunResumable(t *testing.T) {
 	}
 }
 
+// TestCheckpointStaleVersion proves the format-version guard: a
+// checkpoint from a different format version must fail with a clear,
+// versioned error — not a CRC mismatch or a decode panic — so users
+// learn to regenerate the checkpoint rather than suspect corruption.
+func TestCheckpointStaleVersion(t *testing.T) {
+	c := ckptCase{"reciprocal", ModeReciprocal, "", ""}
+	cs := buildCkptCosim(t, c, 42)
+	cs.Run(ckptAt)
+	digest := ConfigDigest(ckptConfig(c), c.mode, "fft-16-250-42")
+	blob, err := EncodeCheckpoint(cs, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the version field (right after the magic) to a stale
+	// value. The decoder checks the version before the CRC, so this
+	// must surface as ErrVersion even though the CRC no longer matches.
+	stale := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(stale[len(snapshot.Magic):], snapshot.FormatVersion-1)
+
+	fresh := buildCkptCosim(t, c, 42)
+	err = DecodeCheckpoint(stale, fresh, digest)
+	if err == nil {
+		t.Fatal("stale-version checkpoint restored successfully")
+	}
+	if !errors.Is(err, snapshot.ErrVersion) {
+		t.Errorf("stale-version restore failed with %v, want ErrVersion", err)
+	}
+	want := fmt.Sprintf("format version %d", snapshot.FormatVersion-1)
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the stale version (%q)", err, want)
+	}
+}
+
 // TestGoldenCheckpoint pins the on-disk format: a checkpoint written
 // by a past build must keep restoring and producing the same final
 // statistics. Regenerate with `go test -run TestGoldenCheckpoint
 // -update-golden` after a deliberate, version-bumped format change.
 func TestGoldenCheckpoint(t *testing.T) {
-	c := ckptCase{"reciprocal", ModeReciprocal, ""}
+	c := ckptCase{"reciprocal", ModeReciprocal, "", ""}
 	digest := ConfigDigest(ckptConfig(c), c.mode, "fft-16-250-42")
 	blobPath := filepath.Join("testdata", "reciprocal-16t.ckpt")
 	wantPath := filepath.Join("testdata", "reciprocal-16t.fingerprint")
