@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race simcheck premerge
+.PHONY: all build test vet lint race simcheck premerge bench
 
 all: build test
 
@@ -27,6 +27,13 @@ race:
 
 simcheck:
 	$(GO) test -tags simcheck ./...
+
+# One pass over the tier-1 benchmark suite (one iteration each, so it
+# tracks trend, not noise) in machine-readable test2json form. CI
+# uploads the file as a non-blocking artifact; compare runs with e.g.
+# `jq -r 'select(.Action=="output") .Output' BENCH_cosim.json | grep ns/op`.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -json . > BENCH_cosim.json
 
 # Everything a PR must pass.
 premerge: build vet lint test race simcheck

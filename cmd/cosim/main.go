@@ -11,11 +11,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
 	"os"
 	"strings"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -41,6 +45,12 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "checkpoint file (overwritten unless -resume restores it first)")
 		ckptEvery = flag.Uint64("checkpoint-every", 0, "rewrite -checkpoint every N cycles (0 = never)")
 		resume    = flag.Bool("resume", false, "restore -checkpoint before running, when the file exists")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (virtual cycles; open in Perfetto)")
+		traceWall = flag.Bool("trace-wall", false, "annotate trace spans with host wall-clock cost (nondeterministic annotations)")
+		metricOut = flag.String("metrics-out", "", "write the metrics registry as JSON")
+		obsTable  = flag.String("obs-table", "", "print observability tables after each mode: comma list of metrics,calib")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		progress  = flag.Duration("progress", 0, "print a progress heartbeat (sim-cycles/sec, ETA) to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
 	if *ckptPath == "" && (*ckptEvery > 0 || *resume) {
@@ -48,6 +58,25 @@ func main() {
 	}
 	if *ckptPath != "" && *saveTrace != "" {
 		fatal(fmt.Errorf("-checkpoint cannot be combined with -savetrace"))
+	}
+	wantMetricsTable, wantCalibTable := false, false
+	for _, part := range strings.Split(*obsTable, ",") {
+		switch strings.TrimSpace(part) {
+		case "":
+		case "metrics":
+			wantMetricsTable = true
+		case "calib":
+			wantCalibTable = true
+		default:
+			fatal(fmt.Errorf("-obs-table %q: want a comma list of metrics,calib", *obsTable))
+		}
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "cosim: pprof:", err)
+			}
+		}()
 	}
 
 	cfg := repro.DefaultConfig(*tiles)
@@ -86,6 +115,20 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+		}
+		var ob *obs.Observer
+		if *traceOut != "" || *metricOut != "" || wantMetricsTable || wantCalibTable {
+			ob = obs.New(obs.Options{
+				Trace:   *traceOut != "",
+				Metrics: *metricOut != "" || wantMetricsTable,
+				Calib:   true,
+				Wall:    *traceWall,
+			})
+			cs.SetObserver(ob)
+		}
+		if *progress > 0 {
+			hb := obs.NewHeartbeat(os.Stderr, *progress, sim.Cycle(*limit))
+			cs.Progress = hb.Tick
 		}
 		var res core.Result
 		if *ckptPath == "" {
@@ -134,6 +177,29 @@ func main() {
 			cs.Sys.StatsTable("system statistics (" + m + ")").WriteText(os.Stdout)
 			fmt.Println()
 		}
+		if ob != nil {
+			// Per-mode output files when several modes run, like the
+			// checkpoint files above.
+			multi := strings.Contains(*mode, ",")
+			if *traceOut != "" {
+				if err := writeFileWith(modePath(*traceOut, m, multi), ob.WriteTrace); err != nil {
+					fatal(err)
+				}
+			}
+			if *metricOut != "" {
+				if err := writeFileWith(modePath(*metricOut, m, multi), ob.WriteMetrics); err != nil {
+					fatal(err)
+				}
+			}
+			if wantMetricsTable {
+				ob.MetricsTable("metrics (" + m + ")").WriteText(os.Stdout)
+				fmt.Println()
+			}
+			if wantCalibTable {
+				ob.CalibTable("calibration retunes (" + m + ")").WriteText(os.Stdout)
+				fmt.Println()
+			}
+		}
 		cs.Close()
 	}
 	core.LatencyTable(fmt.Sprintf("cosim: %s on %d tiles", *wlName, *tiles),
@@ -141,6 +207,28 @@ func main() {
 	if !allFinished {
 		fatal(fmt.Errorf("a workload did not finish within %d cycles", *limit))
 	}
+}
+
+// modePath suffixes an output path with the mode name when several
+// modes run in one invocation (same convention as checkpoint files).
+func modePath(path, mode string, multi bool) string {
+	if multi {
+		return path + "." + mode
+	}
+	return path
+}
+
+// writeFileWith creates path and streams write into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

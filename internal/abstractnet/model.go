@@ -172,8 +172,9 @@ func (t *Tuned) Latency(src, dst, flits int, now sim.Cycle) float64 {
 // pairing (calib.Reciprocal) can feed it directly.
 func (t *Tuned) Fit() *calib.Affine { return t.fit }
 
-// coeffs reports the current correction for tests and tables.
-func (t *Tuned) coeffs() (alpha, beta float64) { return t.fit.Coeffs() }
+// Coeffs reports the current correction coefficients (telemetry,
+// tests, tables).
+func (t *Tuned) Coeffs() (alpha, beta float64) { return t.fit.Coeffs() }
 
 // Observe records one (base-model prediction, detailed observation)
 // latency pair.

@@ -104,7 +104,7 @@ func TestTunedRetuneFitsAffine(t *testing.T) {
 		tuned.Observe(pred, 2*pred+10)
 	}
 	tuned.Retune()
-	a, b := tuned.coeffs()
+	a, b := tuned.Coeffs()
 	if !almostEq(a, 2) || !almostEq(b, 10) {
 		t.Errorf("fit = %v, %v; want 2, 10", a, b)
 	}
@@ -122,7 +122,7 @@ func TestTunedDegenerateWindow(t *testing.T) {
 		tuned.Observe(20, 35)
 	}
 	tuned.Retune()
-	a, b := tuned.coeffs()
+	a, b := tuned.Coeffs()
 	if !almostEq(a, 1) || !almostEq(b, 15) {
 		t.Errorf("degenerate fit = %v, %v; want 1, 15", a, b)
 	}
@@ -144,7 +144,7 @@ func TestTunedGuardsAgainstWildFits(t *testing.T) {
 	tuned.Observe(10, 1000)
 	tuned.Observe(10.0001, 1)
 	tuned.Retune()
-	a, _ := tuned.coeffs()
+	a, _ := tuned.Coeffs()
 	if a < 0.1 || a > 10 {
 		t.Errorf("guard failed: alpha = %v", a)
 	}

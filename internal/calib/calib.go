@@ -99,6 +99,9 @@ type Reciprocal[Req comparable] struct {
 	period   sim.Cycle
 	preds    map[Req]float64
 	lastTune sim.Cycle
+	// sink observes retunes (telemetry.go); it is not simulated state
+	// and is not snapshotted.
+	sink RetuneSink
 }
 
 // NewReciprocal returns a pairing over the shared fit with the given
@@ -157,6 +160,9 @@ func (r *Reciprocal[Req]) MaybeRetune(now sim.Cycle) bool {
 	}
 	r.fit.Retune()
 	r.lastTune = now - now%r.period
+	if r.sink != nil {
+		r.sink(r.event(now))
+	}
 	return true
 }
 

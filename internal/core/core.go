@@ -88,6 +88,10 @@ type CycleNet interface {
 	Drain() []*noc.Packet
 	Tracker() *stats.LatencyTracker
 	InFlight() int
+	// FlitsSwitched reports total flits traversed across all router
+	// output ports including ejection — the switching-activity measure
+	// the observability layer samples per quantum.
+	FlitsSwitched() uint64
 	Close()
 }
 
@@ -120,6 +124,9 @@ func (d *Detailed) Tracker() *stats.LatencyTracker { return d.Net.Tracker() }
 
 // InFlight implements Backend.
 func (d *Detailed) InFlight() int { return d.Net.InFlight() }
+
+// FlitsSwitched reports the wrapped network's switching activity.
+func (d *Detailed) FlitsSwitched() uint64 { return d.Net.FlitsSwitched() }
 
 // Close implements Backend.
 func (d *Detailed) Close() { d.Net.Close() }

@@ -38,10 +38,20 @@ type Cosim struct {
 	// determinism tests).
 	Stepper engine.Engine
 
+	// Progress, when set, is called after every quantum with the
+	// current cycle — the hook the observability heartbeat (and the
+	// resumable runner's chunking) builds on. It observes only; it must
+	// not mutate simulated state.
+	Progress func(sim.Cycle)
+
 	// comps is the component registry: Net first, then one component
 	// per memory controller oracle, in deterministic controller order.
 	comps    []Component
 	memPorts []fullsys.MemPort
+
+	// obsH is the pre-resolved instrumentation state (observe.go); nil
+	// is the uninstrumented fast path — one branch per site.
+	obsH *obsHandles
 
 	cycle       sim.Cycle
 	skewSum     uint64
@@ -182,36 +192,78 @@ func (c *Cosim) Cycle() sim.Cycle { return c.cycle }
 // through the stepper when one is set, in registry order otherwise.
 // Components own disjoint state, so the two paths are bit-identical.
 func (c *Cosim) advance(end sim.Cycle) {
+	h := c.obsH
+	start := c.cycle
 	if c.Stepper == nil {
-		for _, comp := range c.comps {
+		for i, comp := range c.comps {
+			if h == nil {
+				comp.AdvanceTo(end)
+				continue
+			}
+			var t0 time.Time
+			if h.wall {
+				t0 = time.Now() //simlint:allow wallclock per-component advance cost annotation, observed only
+			}
 			comp.AdvanceTo(end)
+			var d time.Duration
+			if h.wall {
+				d = time.Since(t0) //simlint:allow wallclock per-component advance cost annotation, observed only
+			}
+			h.advSpan(i, start, end, d)
 		}
 		return
 	}
 	comps := c.comps
-	c.Stepper.Run(len(comps), func(i int) { comps[i].AdvanceTo(end) })
+	if h == nil {
+		c.Stepper.Run(len(comps), func(i int) { comps[i].AdvanceTo(end) })
+		return
+	}
+	// Parallel + observed: each closure writes only its own duration
+	// slot; spans are appended sequentially after the barrier, in
+	// registry order, so the trace is identical to the sequential
+	// engine's.
+	durs := h.durs
+	wall := h.wall
+	c.Stepper.Run(len(comps), func(i int) {
+		if !wall {
+			comps[i].AdvanceTo(end)
+			return
+		}
+		t0 := time.Now() //simlint:allow wallclock per-component advance cost annotation, observed only
+		comps[i].AdvanceTo(end)
+		durs[i] = time.Since(t0) //simlint:allow wallclock per-component advance cost annotation, observed only
+	})
+	for i := range comps {
+		h.advSpan(i, start, end, durs[i])
+	}
 }
 
 // Step advances the co-simulation by one quantum (or less, if the
 // workload finishes mid-quantum). It returns false when the workload
 // has completed.
 func (c *Cosim) Step() bool {
+	h := c.obsH
 	end := c.cycle + sim.Cycle(c.Quantum)
 	t0 := time.Now() //simlint:allow wallclock host-time split between the two simulators, never fed back into simulated state
 	for t := c.cycle; t < end; t++ {
 		c.Sys.Tick(t)
 	}
 	t1 := time.Now() //simlint:allow wallclock host-time split between the two simulators, never fed back into simulated state
+	if h != nil {
+		h.sysSpan(c.cycle, end, t1.Sub(t0))
+	}
 	c.advance(end)
 	// Memory completions apply before network deliveries: completions
 	// inside the simulated window clamp to end-1 (bounded skew, like
 	// network deliveries), and deliveries dispatch at >= end-1, so this
 	// order keeps every source's injection stream nondecreasing.
+	memDone, netDone := 0, 0
 	for _, mp := range c.memPorts {
 		for _, done := range mp.Oracle.Drain() {
 			sim.Assert(done.At >= c.cycle,
 				"memory oracle %q completed at %v, before the window start %v",
 				mp.Oracle.Name(), done.At, c.cycle)
+			memDone++
 			c.Sys.CompleteMem(done.Meta, done.At)
 		}
 	}
@@ -234,8 +286,15 @@ func (c *Cosim) Step() bool {
 				c.skewMax = now - p.DeliveredAt
 			}
 		}
+		if h != nil {
+			h.skew.Observe(float64(now - min(p.DeliveredAt, now)))
+		}
+		netDone++
 		c.delivered++
 		c.Sys.Deliver(p.Payload.(fullsys.Msg), p.DeliveredAt)
+	}
+	if h != nil {
+		h.endQuantum(c, end, memDone, netDone)
 	}
 	c.netWall += time.Since(t1) //simlint:allow wallclock host-time split between the two simulators, never fed back into simulated state
 	c.sysWall += t1.Sub(t0)
@@ -247,7 +306,14 @@ func (c *Cosim) Step() bool {
 // cycle limit is reached, or the watchdog detects a stall. The summary
 // reports Finished=false with Stalled=true on watchdog aborts.
 func (c *Cosim) Run(limit sim.Cycle) Result {
-	for c.cycle < limit && c.Step() {
+	for c.cycle < limit {
+		alive := c.Step()
+		if c.Progress != nil {
+			c.Progress(c.cycle)
+		}
+		if !alive {
+			break
+		}
 		if c.WatchdogQuanta <= 0 {
 			continue
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -8,6 +9,8 @@ import (
 	"repro/internal/noc"
 	"repro/internal/noc/engine"
 	"repro/internal/noc/topology"
+	"repro/internal/obs"
+	"repro/internal/snapshot"
 	"repro/internal/workload"
 )
 
@@ -42,6 +45,12 @@ func cosimFingerprintCfg(t *testing.T, seed uint64, quantum int, backend func(t 
 	if !res.Finished {
 		t.Fatalf("workload did not finish: %+v", res)
 	}
+	return fingerprintOf(cs, res)
+}
+
+// fingerprintOf formats every externally observable outcome of a
+// finished run, bit-exactly.
+func fingerprintOf(cs *Cosim, res Result) string {
 	hits, misses := cs.Sys.L1Stats()
 	return fmt.Sprintf(
 		"exec=%d retired=%d pkts=%d lat=%x netlat=%x p95=%x hops=%x skew=%x maxskew=%d msgs=%d flits=%d local=%d l1=%d/%d",
@@ -112,6 +121,108 @@ func TestCosimStepperBitIdentical(t *testing.T) {
 	got := cosimFingerprintCfg(t, 42, 8, detailedMeshBackend, setMem, par)
 	if got != seq {
 		t.Errorf("parallel component stepping diverged from sequential\nseq: %s\npar: %s", seq, got)
+	}
+}
+
+// TestObservabilityZeroPerturbation is the observability layer's
+// non-negotiable: attaching a fully enabled observer (tracing,
+// metrics, calibration telemetry) must change neither the determinism
+// fingerprint of a run nor the bytes of a mid-run snapshot. The
+// calibrated memory model is used so the retune-sink wiring — the one
+// place observability touches the calibration loop — is exercised.
+func TestObservabilityZeroPerturbation(t *testing.T) {
+	run := func(observe bool) (string, []byte, *obs.Observer) {
+		wl := workload.NewFFT(16, 250, 42)
+		cfg := fullsys.DefaultConfig(16)
+		cfg.MemModel = "calibrated"
+		cs, err := Build(cfg, wl, detailedMeshBackend(t), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ob *obs.Observer
+		if observe {
+			ob = obs.New(obs.Options{Trace: true, Metrics: true, Calib: true})
+			cs.SetObserver(ob)
+		}
+		// Snapshot mid-run, with packets in flight and (in the observed
+		// run) spans and counters already recorded.
+		if cs.Run(5_000).Finished {
+			t.Fatal("fixture finished before the mid-run snapshot point")
+		}
+		e := snapshot.NewEncoder(7)
+		if err := cs.SnapshotTo(e); err != nil {
+			t.Fatal(err)
+		}
+		blob := e.Finish()
+		res := cs.Run(2_000_000)
+		if !res.Finished {
+			t.Fatalf("workload did not finish: %+v", res)
+		}
+		return fingerprintOf(cs, res), blob, ob
+	}
+
+	plainFP, plainSnap, _ := run(false)
+	obsFP, obsSnap, ob := run(true)
+
+	// Guard the guard: the observer must actually have seen the run,
+	// otherwise identical outputs would be vacuous.
+	if ob.Metrics().Len() == 0 || ob.Trace().Len() == 0 || ob.Calib().Len() == 0 {
+		t.Fatalf("observer recorded nothing (metrics=%d trace=%d calib=%d); the comparison is vacuous",
+			ob.Metrics().Len(), ob.Trace().Len(), ob.Calib().Len())
+	}
+	if plainFP != obsFP {
+		t.Errorf("observability perturbed the run\nplain:    %s\nobserved: %s", plainFP, obsFP)
+	}
+	if !bytes.Equal(plainSnap, obsSnap) {
+		t.Errorf("observability perturbed snapshot bytes: %d bytes vs %d (first diff at %d)",
+			len(plainSnap), len(obsSnap), firstDiff(plainSnap, obsSnap))
+	}
+}
+
+// firstDiff reports the first differing byte offset, or -1.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}
+
+// BenchmarkStepObserved pins the cost of the observability seam on the
+// coordinator hot path: "off" is the disabled path every production
+// run pays (a nil-handle check per quantum) and must stay within noise
+// of historical Step cost; "on" is the full tracing+metrics price.
+func BenchmarkStepObserved(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			m := topology.NewMesh(4, 4, 1)
+			net, err := noc.New(noc.DefaultConfig(), m, topology.NewXY(m))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer net.Close()
+			wl := workload.NewFFT(16, 1<<30, 5) // effectively endless
+			cs, err := Build(fullsys.DefaultConfig(16), wl, NewDetailed(net), 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode == "on" {
+				ob := obs.New(obs.Options{Trace: true, Metrics: true, Calib: true})
+				cs.SetObserver(ob)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs.Step()
+			}
+		})
 	}
 }
 

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/calib"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// RetuneObservable is implemented by backends and oracles whose
+// reciprocal pairing can report retunes (Hybrid, Calibrated, the
+// calibrated memory oracle). SetObserver wires a sink into every
+// registered component that implements it.
+type RetuneObservable interface {
+	SetRetuneSink(calib.RetuneSink)
+}
+
+// SetRetuneSink implements RetuneObservable.
+func (h *Hybrid) SetRetuneSink(s calib.RetuneSink) { h.pair.SetSink(s) }
+
+// SetRetuneSink implements RetuneObservable.
+func (c *Calibrated) SetRetuneSink(s calib.RetuneSink) { c.pair.SetSink(s) }
+
+// SetRetuneSink forwards to the wrapped oracle when it can report.
+func (m memComponent) SetRetuneSink(s calib.RetuneSink) {
+	if ro, ok := m.port.Oracle.(RetuneObservable); ok {
+		ro.SetRetuneSink(s)
+	}
+}
+
+// obsHandles is the pre-resolved instrumentation state of one observed
+// Cosim: every metric and trace handle the hot path needs, looked up
+// once in SetObserver so Step pays pointer calls, not map lookups. The
+// whole struct is reached through one nil check (c.obsH).
+type obsHandles struct {
+	o    *obs.Observer
+	tr   *obs.Trace
+	wall bool
+
+	sysTid int
+	tids   []int
+
+	quanta    *obs.Counter
+	cycles    *obs.Counter
+	delivered *obs.Counter
+	memDone   *obs.Counter
+	skew      *obs.Histogram
+	inflight  *obs.Gauge
+	snapBytes *obs.Gauge
+
+	sysWall *obs.Histogram
+	advWall []*obs.Histogram
+	durs    []time.Duration
+
+	// flits samples switching activity when the backend exposes it
+	// (detailed cycle-level networks); nil otherwise.
+	flits      func() uint64
+	flitsGauge *obs.Gauge
+}
+
+// flitSwitcher is the optional switching-activity surface of a
+// backend (satisfied by Detailed over either cycle-level network).
+type flitSwitcher interface{ FlitsSwitched() uint64 }
+
+// wallHistBins sizes the host-time histograms: 10us bins up to 10ms.
+const (
+	wallHistBin  = 10e3
+	wallHistBins = 1024
+)
+
+// SetObserver threads an observer through the co-simulation: the
+// coordinator itself (quantum spans, throughput counters, skew and
+// queue-depth metrics), the system's clamp sites, and the retune sink
+// of every component with a reciprocal pairing. Call it after New and
+// before the first Step; pass nil to detach. Observation never feeds
+// back: enabling this changes no fingerprints and no snapshot bytes
+// (asserted by determinism tests).
+func (c *Cosim) SetObserver(o *obs.Observer) {
+	if o == nil {
+		c.obsH = nil
+		return
+	}
+	h := &obsHandles{
+		o:         o,
+		tr:        o.Trace(),
+		wall:      o.Wall(),
+		sysTid:    o.Track("fullsys"),
+		quanta:    o.Counter("cosim.quanta"),
+		cycles:    o.Counter("cosim.cycles"),
+		delivered: o.Counter("net.delivered"),
+		memDone:   o.Counter("mem.completions"),
+		skew:      o.Histogram("net.delivery_skew_cycles", 1, 512),
+		inflight:  o.Gauge("net.inflight"),
+		snapBytes: o.Gauge("snapshot.bytes"),
+	}
+	if h.wall {
+		h.sysWall = o.Histogram("wall.fullsys_ns", wallHistBin, wallHistBins)
+	}
+	if fs, ok := c.Net.(flitSwitcher); ok {
+		h.flits = fs.FlitsSwitched
+		h.flitsGauge = o.Gauge("net.flits_switched")
+	}
+	for _, comp := range c.comps {
+		h.tids = append(h.tids, o.Track(comp.Name()))
+		if h.wall {
+			h.advWall = append(h.advWall, o.Histogram("wall.advance_ns/"+comp.Name(), wallHistBin, wallHistBins))
+		} else {
+			h.advWall = append(h.advWall, nil)
+		}
+		if ro, ok := comp.(RetuneObservable); ok {
+			ro.SetRetuneSink(o.RetuneSink(comp.Name()))
+		}
+	}
+	h.durs = make([]time.Duration, len(c.comps))
+	c.Sys.SetObserver(o)
+	c.obsH = h
+}
+
+// Observer reports the attached observer (nil when detached).
+func (c *Cosim) Observer() *obs.Observer {
+	if c.obsH == nil {
+		return nil
+	}
+	return c.obsH.o
+}
+
+// ObserveSnapshotBytes records the encoded size of a snapshot just
+// taken (the checkpoint layer calls it). A detached Cosim ignores it.
+func (c *Cosim) ObserveSnapshotBytes(n int) {
+	if c.obsH == nil {
+		return
+	}
+	c.obsH.snapBytes.Set(float64(n))
+}
+
+// sysSpan records the full-system leg of one quantum.
+func (h *obsHandles) sysSpan(start, end sim.Cycle, wall time.Duration) {
+	var args map[string]interface{}
+	if h.wall {
+		h.sysWall.Observe(float64(wall.Nanoseconds()))
+		args = map[string]interface{}{"wall_ns": float64(wall.Nanoseconds())}
+	}
+	h.tr.Span(h.sysTid, "tick", start, end, args)
+}
+
+// advSpan records one component's advance over a quantum.
+func (h *obsHandles) advSpan(i int, start, end sim.Cycle, wall time.Duration) {
+	var args map[string]interface{}
+	if h.wall {
+		h.advWall[i].Observe(float64(wall.Nanoseconds()))
+		args = map[string]interface{}{"wall_ns": float64(wall.Nanoseconds())}
+	}
+	h.tr.Span(h.tids[i], "advance", start, end, args)
+}
+
+// endQuantum folds one quantum's totals into metrics and trace
+// counter tracks.
+func (h *obsHandles) endQuantum(c *Cosim, end sim.Cycle, memDone, netDone int) {
+	h.quanta.Inc()
+	h.cycles.Add(uint64(c.Quantum))
+	h.memDone.Add(uint64(memDone))
+	h.delivered.Add(uint64(netDone))
+	inFlight := c.Net.InFlight()
+	h.inflight.Set(float64(inFlight))
+	h.tr.Counter("net.inflight", end, float64(inFlight))
+	h.tr.Counter("net.delivered", end, float64(c.delivered))
+	if h.flits != nil {
+		f := h.flits()
+		h.flitsGauge.Set(float64(f))
+		h.tr.Counter("net.flits_switched", end, float64(f))
+	}
+}

@@ -348,3 +348,9 @@ func (o *CalibratedOracle) Observations() int { return o.abs.Fit().ObservationCo
 
 // Close implements Oracle.
 func (o *CalibratedOracle) Close() {}
+
+// SetRetuneSink installs a retune observer on the oracle's reciprocal
+// pairing (the core coordinator wires one in when observability is
+// enabled; see core.RetuneObservable). Observation only — the sink
+// never feeds the fit.
+func (o *CalibratedOracle) SetRetuneSink(s calib.RetuneSink) { o.pair.SetSink(s) }

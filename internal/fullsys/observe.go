@@ -1,0 +1,14 @@
+package fullsys
+
+import "repro/internal/obs"
+
+// SetObserver installs observability counters for the clamp sites —
+// the places where a completion from an abstracted component lands in
+// an already-simulated cycle and is bounded-skew-clamped to now
+// (CompleteMem for memory, Deliver for the network). Clamp volume is
+// the run's skew exposure; the counters only read it. Passing a nil
+// observer (or one without metrics) leaves the nil no-op handles.
+func (s *System) SetObserver(o *obs.Observer) {
+	s.obsClampMem = o.Counter("fullsys.clamped_mem_completions")
+	s.obsClampNet = o.Counter("fullsys.clamped_deliveries")
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -41,6 +42,12 @@ type System struct {
 	msgsByType [numMsgTypes]uint64
 	haltedCnt  int
 	doneCycle  sim.Cycle
+
+	// Observability handles (observe.go). nil handles are no-ops, so
+	// the counting sites below stay unconditional; nothing here feeds
+	// simulated state.
+	obsClampMem *obs.Counter
+	obsClampNet *obs.Counter
 }
 
 // New constructs a system over the given workload. send receives every
@@ -177,6 +184,9 @@ func (s *System) CompleteMem(meta interface{}, at sim.Cycle) {
 		panic(fmt.Sprintf("fullsys: memory completion carries %T, want Msg", meta))
 	}
 	if at <= s.now {
+		if at < s.now {
+			s.obsClampMem.Inc()
+		}
 		s.dramDone(s.now, m)
 		return
 	}
@@ -188,6 +198,7 @@ func (s *System) CompleteMem(meta interface{}, at sim.Cycle) {
 // cycle.
 func (s *System) Deliver(m Msg, at sim.Cycle) {
 	if at < s.now {
+		s.obsClampNet.Inc()
 		at = s.now
 	}
 	s.dispatch(at, m)

@@ -83,6 +83,7 @@ type deflRouter struct {
 	// engine never contends on shared state.
 	deflects uint64
 	flitHops uint64
+	ejects   uint64
 }
 
 // deflIface is the terminal-side state: source flit queue and
@@ -238,6 +239,7 @@ func (n *Deflection) stepRouter(r int) {
 		fdr, _ := n.topo.RouterOf(f.pkt.Dst)
 		if fdr == r && ejected < n.cfg.EjectWidth {
 			n.eject(ni, f, now)
+			rt.ejects++
 			ejected++
 			continue
 		}
@@ -264,6 +266,7 @@ func (n *Deflection) stepRouter(r int) {
 		fdr, _ := n.topo.RouterOf(f.pkt.Dst)
 		if fdr == r && ejected < n.cfg.EjectWidth {
 			n.eject(ni, f, now)
+			rt.ejects++
 			ejected++
 		} else {
 			flits = append(flits, f)
@@ -419,6 +422,18 @@ func (n *Deflection) Deflections() uint64 {
 	var total uint64
 	for r := range n.routers {
 		total += n.routers[r].deflects
+	}
+	return total
+}
+
+// FlitsSwitched reports total flits traversed across all router
+// output ports including ejection — the same switching-activity
+// measure *Network exposes, so either cycle-level network can report
+// it uniformly through core.CycleNet.
+func (n *Deflection) FlitsSwitched() uint64 {
+	var total uint64
+	for r := range n.routers {
+		total += n.routers[r].flitHops + n.routers[r].ejects
 	}
 	return total
 }

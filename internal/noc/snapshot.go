@@ -584,6 +584,7 @@ func (n *Deflection) SnapshotTo(e *snapshot.Encoder, pc snapshot.PayloadCodec) {
 		}
 		e.U64(rt.deflects)
 		e.U64(rt.flitHops)
+		e.U64(rt.ejects)
 	}
 }
 
@@ -688,6 +689,7 @@ func (n *Deflection) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, 
 		}
 		rt.deflects = d.U64()
 		rt.flitHops = d.U64()
+		rt.ejects = d.U64()
 		d.Leave()
 		if d.Err() != nil {
 			return d.Err()

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/calib"
+	"repro/internal/stats"
+)
+
+// CalibRecord is one retune event attributed to the component whose
+// reciprocal pairing emitted it.
+type CalibRecord struct {
+	Component string            `json:"component"`
+	Event     calib.RetuneEvent `json:"event"`
+}
+
+// CalibLog collects the divergence history of every reciprocal pairing
+// in a run: one record per retune, in emission order (which is
+// deterministic, because retunes happen at quantum boundaries in
+// component registry order).
+type CalibLog struct {
+	recs []CalibRecord
+}
+
+// add appends one record.
+func (l *CalibLog) add(component string, e calib.RetuneEvent) {
+	l.recs = append(l.recs, CalibRecord{Component: component, Event: e})
+}
+
+// Records returns the full history in emission order.
+func (l *CalibLog) Records() []CalibRecord {
+	if l == nil {
+		return nil
+	}
+	return l.recs
+}
+
+// History returns the retune events of one component in emission order.
+func (l *CalibLog) History(component string) []calib.RetuneEvent {
+	if l == nil {
+		return nil
+	}
+	var out []calib.RetuneEvent
+	for _, r := range l.recs {
+		if r.Component == component {
+			out = append(out, r.Event)
+		}
+	}
+	return out
+}
+
+// components lists the distinct component names in sorted order.
+func (l *CalibLog) components() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, r := range l.recs {
+		if !seen[r.Component] {
+			seen[r.Component] = true
+			names = append(names, r.Component)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summary condenses one component's divergence history.
+type Summary struct {
+	Component string `json:"component"`
+	// Retunes counts refits; Fed counts refits that had at least one
+	// observation in the window (an empty window refit is a no-op).
+	Retunes int `json:"retunes"`
+	Fed     int `json:"fed"`
+	// Alpha and Beta are the final affine coefficients.
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	// MeanResidual is the mean post-fit RMS error across fed retunes:
+	// how far the detailed component stays from the corrected model.
+	MeanResidual float64 `json:"mean_residual"`
+	// MeanAbsDrift is the mean |predict-vs-observe| gap of the RAW
+	// (uncorrected) model across fed retunes: the divergence the
+	// reciprocal feedback is correcting.
+	MeanAbsDrift float64 `json:"mean_abs_drift"`
+	// MaxAbsDrift is the worst raw divergence seen at any retune.
+	MaxAbsDrift float64 `json:"max_abs_drift"`
+}
+
+// Summarize reduces the history to one Summary per component, sorted
+// by component name.
+func (l *CalibLog) Summarize() []Summary {
+	if l == nil {
+		return nil
+	}
+	var out []Summary
+	for _, name := range l.components() {
+		s := Summary{Component: name}
+		var residSum, driftSum float64
+		for _, e := range l.History(name) {
+			s.Retunes++
+			if e.Observations == 0 {
+				continue
+			}
+			s.Fed++
+			s.Alpha, s.Beta = e.Alpha, e.Beta
+			residSum += e.Residual
+			d := math.Abs(e.Drift)
+			driftSum += d
+			if d > s.MaxAbsDrift {
+				s.MaxAbsDrift = d
+			}
+		}
+		if s.Fed > 0 {
+			s.MeanResidual = residSum / float64(s.Fed)
+			s.MeanAbsDrift = driftSum / float64(s.Fed)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Table renders the per-component divergence summary.
+func (l *CalibLog) Table(title string) *stats.Table {
+	t := stats.NewTable(title,
+		"component", "retunes", "fed", "alpha", "beta", "mean-resid", "mean-|drift|", "max-|drift|")
+	for _, s := range l.Summarize() {
+		t.AddRow(s.Component, s.Retunes, s.Fed, s.Alpha, s.Beta,
+			s.MeanResidual, s.MeanAbsDrift, s.MaxAbsDrift)
+	}
+	return t
+}
+
+// WriteJSON dumps the full history in emission order.
+func (l *CalibLog) WriteJSON(w io.Writer) error {
+	recs := l.Records()
+	if recs == nil {
+		recs = []CalibRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Retunes []CalibRecord `json:"retunes"`
+	}{recs})
+}
+
+// Len reports the number of recorded retunes.
+func (l *CalibLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.recs)
+}

@@ -1,0 +1,135 @@
+// Package obs_test exercises the observer against the real
+// co-simulator: the Chrome trace output of a fixed 16-tile run is
+// pinned byte-for-byte as a golden file, and its schema invariants
+// (valid JSON, known phases, monotonic span timestamps per track) are
+// asserted structurally so a Perfetto-breaking regression fails even
+// when the golden file is being regenerated.
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+var updateTrace = flag.Bool("update-golden-trace", false,
+	"rewrite testdata/trace-fft16.json from the current run")
+
+const goldenTrace = "trace-fft16.json"
+
+// tracedRun runs the canonical fixture (16-tile FFT, fixed seed,
+// reciprocal coupling, wall-clock capture off — wall times would make
+// the bytes host-dependent) and returns the trace document.
+func tracedRun(t *testing.T) []byte {
+	t.Helper()
+	cfg := repro.DefaultConfig(16)
+	wl := workload.NewFFT(16, 200, 5)
+	cs, err := repro.BuildCosim(cfg, repro.ModeReciprocal, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Net.Close()
+	ob := obs.New(obs.Options{Trace: true, Metrics: true, Calib: true})
+	cs.SetObserver(ob)
+	res := cs.Run(1_000_000)
+	if !res.Finished {
+		t.Fatalf("fixture workload did not finish: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := ob.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceGolden pins the exact trace bytes for the fixture run.
+// Regenerate deliberately after an intended format change with:
+//
+//	go test ./internal/obs -run TestTraceGolden -update-golden-trace
+func TestTraceGolden(t *testing.T) {
+	got := tracedRun(t)
+	path := filepath.Join("testdata", goldenTrace)
+	if *updateTrace {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden trace (regenerate with -update-golden-trace): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace output diverged from %s (got %d bytes, want %d); "+
+			"if the format change is deliberate, regenerate with -update-golden-trace",
+			path, len(got), len(want))
+	}
+}
+
+// TestTraceSchema checks the structural contract any trace viewer
+// relies on, independent of exact bytes.
+func TestTraceSchema(t *testing.T) {
+	raw := tracedRun(t)
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	if d := doc.OtherData["dropped"]; d != "0" {
+		t.Errorf("fixture run must not drop events: otherData[dropped] = %q", d)
+	}
+
+	valid := map[string]bool{"X": true, "i": true, "C": true, "M": true}
+	named := map[int]bool{} // tids with a thread_name metadata record
+	lastTs := map[int]uint64{}
+	for i, e := range doc.TraceEvents {
+		if !valid[e.Ph] {
+			t.Fatalf("event %d (%q): unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Name == "" {
+			t.Fatalf("event %d: empty name", i)
+		}
+		if e.Ph == "M" {
+			named[e.Tid] = true
+			continue
+		}
+		if !named[e.Tid] {
+			t.Errorf("event %d (%q) on tid %d before its thread_name metadata", i, e.Name, e.Tid)
+		}
+		// Spans are appended once per quantum in simulation order, so
+		// within a track their timestamps never run backwards.
+		if e.Ph == "X" {
+			if e.Ts < lastTs[e.Tid] {
+				t.Fatalf("event %d (%q): span ts %d went backwards on tid %d (prev %d)",
+					i, e.Name, e.Ts, e.Tid, lastTs[e.Tid])
+			}
+			lastTs[e.Tid] = e.Ts
+		}
+	}
+
+	// The trace writer must be a pure function of the simulated run.
+	if again := tracedRun(t); !bytes.Equal(raw, again) {
+		t.Fatal("two identical runs produced different trace bytes")
+	}
+}

@@ -25,6 +25,31 @@ var wallclockFuncs = map[string]bool{
 	"AfterFunc": true,
 }
 
+// outputFuncs are the entry points of fmt and log that print to
+// process-global destinations (stdout, stderr, the default logger).
+// Writer-explicit variants (fmt.Fprintf, log.New(...).Printf) stay
+// legal: output that names its destination is reviewable; output that
+// grabs a global stream from library code is not.
+var outputFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Print":   true,
+		"Printf":  true,
+		"Println": true,
+	},
+	"log": {
+		"Print":   true,
+		"Printf":  true,
+		"Println": true,
+		"Fatal":   true,
+		"Fatalf":  true,
+		"Fatalln": true,
+		"Panic":   true,
+		"Panicf":  true,
+		"Panicln": true,
+		"Output":  true,
+	},
+}
+
 // allowSet records which rules are suppressed where in one file.
 type allowSet struct {
 	byLine map[int]map[string]bool
@@ -65,7 +90,7 @@ func parseDirectives(fset *token.FileSet, f *ast.File, out *[]Finding) *allowSet
 			}
 			if len(fields) < 2 || !knownRules[fields[1]] {
 				*out = append(*out, Finding{Pos: pos, Rule: RuleDirective,
-					Msg: fmt.Sprintf("//simlint:%s needs a known rule (wallclock, maprange, concurrency)", verb)})
+					Msg: fmt.Sprintf("//simlint:%s needs a known rule (wallclock, output, maprange, concurrency)", verb)})
 				continue
 			}
 			if len(fields) < 3 {
@@ -90,8 +115,9 @@ func parseDirectives(fset *token.FileSet, f *ast.File, out *[]Finding) *allowSet
 }
 
 // lintFile applies every applicable rule to one file. det selects the
-// full determinism contract; otherwise only wallclock applies.
-func lintFile(fset *token.FileSet, p *pkgInfo, f *ast.File, det bool) []Finding {
+// full determinism contract, inInternal adds the output rule;
+// otherwise only wallclock applies.
+func lintFile(fset *token.FileSet, p *pkgInfo, f *ast.File, det, inInternal bool) []Finding {
 	var out []Finding
 	allows := parseDirectives(fset, f, &out)
 	report := func(n ast.Node, rule, msg string) {
@@ -102,20 +128,24 @@ func lintFile(fset *token.FileSet, p *pkgInfo, f *ast.File, det bool) []Finding 
 		out = append(out, Finding{Pos: pos, Rule: rule, Msg: msg})
 	}
 
-	// Track the local name of the time import (it may be renamed) and
-	// flag math/rand imports outright.
+	// Track the local names of the time, fmt, and log imports (they may
+	// be renamed) and flag math/rand imports outright.
 	timeName := ""
+	outputPkgs := map[string]string{} // local name -> canonical "fmt"/"log"
 	for _, imp := range f.Imports {
 		path, err := strconv.Unquote(imp.Path.Value)
 		if err != nil {
 			continue
 		}
+		local := path
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
 		switch path {
 		case "time":
-			timeName = "time"
-			if imp.Name != nil {
-				timeName = imp.Name.Name
-			}
+			timeName = local
+		case "fmt", "log":
+			outputPkgs[local] = path
 		case "math/rand", "math/rand/v2":
 			report(imp, RuleWallclock,
 				path+" is banned: use a seeded sim.NewRNG stream keyed by component identity")
@@ -162,6 +192,19 @@ func lintFile(fset *token.FileSet, p *pkgInfo, f *ast.File, det bool) []Finding 
 			if det {
 				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
 					report(n, RuleConcurrency, "channel close in a deterministic package")
+				}
+			}
+			if inInternal {
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					// id.Obj == nil distinguishes a package reference from
+					// a local identifier that shadows the import name.
+					if id, ok := sel.X.(*ast.Ident); ok && id.Obj == nil {
+						if pkg, ok := outputPkgs[id.Name]; ok && outputFuncs[pkg][sel.Sel.Name] {
+							report(n, RuleOutput, fmt.Sprintf(
+								"%s.%s prints to a process-global stream from simulator internals; route runtime output through internal/obs or take an explicit io.Writer",
+								pkg, sel.Sel.Name))
+						}
+					}
 				}
 			}
 		case *ast.RangeStmt:

@@ -7,13 +7,20 @@
 // randomness, Go map iteration order, and ad-hoc concurrency are the
 // ways that contract silently breaks.
 //
-// Three rules are enforced:
+// Four rules are enforced:
 //
 //   - wallclock (whole module): no calls to time.Now, time.Since, and
 //     the other wall-clock/timer entry points, and no import of
 //     math/rand (seeded sim.NewRNG streams only). Host-time
 //     measurement around the simulator — speedup experiments, CLI
 //     progress — is legitimate and is annotated.
+//
+//   - output (internal/ packages): no fmt.Print/Printf/Println and no
+//     default-logger log.Print*/Fatal*/Panic* calls. Runtime output
+//     from simulator internals goes through internal/obs (or an
+//     explicit io.Writer, which stays legal); ad-hoc prints are how
+//     debugging leftovers and nondeterministic interleaved output
+//     sneak into experiment logs.
 //
 //   - maprange (deterministic packages): no `for range` over a
 //     map-typed value. Map iteration order varies run to run; either
@@ -57,6 +64,7 @@ import (
 // Rule names.
 const (
 	RuleWallclock   = "wallclock"
+	RuleOutput      = "output"
 	RuleMapRange    = "maprange"
 	RuleConcurrency = "concurrency"
 	// RuleDirective reports malformed //simlint: directives. It cannot
@@ -66,6 +74,7 @@ const (
 
 var knownRules = map[string]bool{
 	RuleWallclock:   true,
+	RuleOutput:      true,
 	RuleMapRange:    true,
 	RuleConcurrency: true,
 }
@@ -106,6 +115,8 @@ func DefaultDeterministic() []string {
 		"internal/abstractnet",
 		"internal/traffic",
 		"internal/workload",
+		"internal/calib",
+		"internal/obs",
 	}
 }
 
@@ -147,8 +158,11 @@ func Run(cfg Config) ([]Finding, error) {
 			// maprange and range-over-channel classification need types.
 			l.typeCheck(path)
 		}
+		// The output rule covers every internal/ package, deterministic
+		// or not: simulator internals never print ad hoc.
+		inInternal := strings.HasPrefix(path, l.modPath+"/internal/")
 		for _, f := range p.files {
-			findings = append(findings, lintFile(l.fset, p, f, det)...)
+			findings = append(findings, lintFile(l.fset, p, f, det, inInternal)...)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {

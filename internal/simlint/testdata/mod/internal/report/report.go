@@ -1,0 +1,40 @@
+// Package report is the output-rule fixture: simulator internals must
+// not print to process-global streams.
+package report
+
+import (
+	"fmt"
+	"io"
+	stdlog "log"
+)
+
+// Bad prints fire regardless of import spelling.
+func Bad(n int) {
+	fmt.Println("quantum", n)
+	fmt.Printf("cycle %d\n", n)
+	stdlog.Fatalf("stall at %d", n)
+}
+
+// Allowed is annotated: a deliberate, reviewed escape hatch.
+func Allowed() {
+	//simlint:allow output fixture: the panic path prints before dying
+	fmt.Println("annotated")
+}
+
+// ToWriter names its destination, which stays legal.
+func ToWriter(w io.Writer, n int) {
+	fmt.Fprintf(w, "cycle %d\n", n)
+}
+
+// shadow carries a Println method so a local value can share the fmt
+// import's name.
+type shadow struct{}
+
+func (shadow) Println(args ...interface{}) {}
+
+// Shadowed calls through a local identifier that shadows the import;
+// only true package references are findings.
+func Shadowed() {
+	var fmt shadow
+	fmt.Println("local value, not the fmt package")
+}

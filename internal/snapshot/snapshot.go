@@ -46,8 +46,8 @@ const Magic = "RECOSNAP"
 //
 // History: 1 — initial format; 2 — component-registry layout (memory
 // oracles snapshotted per tile, calibration pairs via calib.Reciprocal
-// sections).
-const FormatVersion uint32 = 2
+// sections); 3 — deflection routers carry an ejection counter.
+const FormatVersion uint32 = 3
 
 const (
 	headerLen  = len(Magic) + 4 + 8 // magic + version + config digest

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// addNLoop is the reference implementation AddN replaced: n Welford
+// updates with the same value.
+func addNLoop(r *Running, x float64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		r.Add(x)
+	}
+}
+
+// closeEnough compares two accumulator statistics with a relative
+// tolerance: the closed-form merge and the iterated update round
+// differently, but must agree to float64 working precision.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+}
+
+// TestAddNMatchesLoop is the property test for the closed-form AddN:
+// for random interleavings of Add and AddN, every statistic must match
+// the loop-of-Add reference.
+func TestAddNMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var fast, ref Running
+		for step := 0; step < 30; step++ {
+			x := (rng.Float64() - 0.3) * math.Pow(10, float64(rng.Intn(6)-2))
+			n := uint64(rng.Intn(50))
+			if rng.Intn(3) == 0 {
+				n = 1
+			}
+			fast.AddN(x, n)
+			addNLoop(&ref, x, n)
+		}
+		if fast.Count() != ref.Count() {
+			t.Fatalf("trial %d: count %d, want %d", trial, fast.Count(), ref.Count())
+		}
+		checks := []struct {
+			name     string
+			got, ref float64
+		}{
+			{"mean", fast.Mean(), ref.Mean()},
+			{"variance", fast.Variance(), ref.Variance()},
+			{"sum", fast.Sum(), ref.Sum()},
+			{"min", fast.Min(), ref.Min()},
+			{"max", fast.Max(), ref.Max()},
+		}
+		for _, c := range checks {
+			if !closeEnough(c.got, c.ref) {
+				t.Errorf("trial %d: %s = %v, loop reference %v", trial, c.name, c.got, c.ref)
+			}
+		}
+	}
+}
+
+// TestAddNEdgeCases pins the corner behaviours the property test can
+// miss by chance.
+func TestAddNEdgeCases(t *testing.T) {
+	var r Running
+	r.AddN(5, 0) // no-op
+	if r.Count() != 0 {
+		t.Fatalf("AddN(x, 0) touched the accumulator: %v", r)
+	}
+	r.AddN(-2, 3) // first fold sets min/max
+	if r.Min() != -2 || r.Max() != -2 || r.Mean() != -2 || r.Variance() != 0 {
+		t.Fatalf("AddN into empty accumulator wrong: %v", r)
+	}
+	r.AddN(4, 1) // n=1 behaves like Add
+	var want Running
+	addNLoop(&want, -2, 3)
+	want.Add(4)
+	if !closeEnough(r.Mean(), want.Mean()) || !closeEnough(r.Variance(), want.Variance()) {
+		t.Fatalf("got %v, want %v", r, want)
+	}
+}
+
+// BenchmarkAddN demonstrates the closed form is O(1) in n.
+func BenchmarkAddN(b *testing.B) {
+	var r Running
+	for i := 0; i < b.N; i++ {
+		r.AddN(3.25, 1<<20)
+	}
+}

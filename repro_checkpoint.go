@@ -27,7 +27,9 @@ func EncodeCheckpoint(cs *core.Cosim, digest uint64) ([]byte, error) {
 	if err := cs.SnapshotTo(e); err != nil {
 		return nil, err
 	}
-	return e.Finish(), nil
+	blob := e.Finish()
+	cs.ObserveSnapshotBytes(len(blob))
+	return blob, nil
 }
 
 // DecodeCheckpoint restores a checkpoint blob into a co-simulation
