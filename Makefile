@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race simcheck premerge bench
+.PHONY: all build test vet lint race simcheck premerge bench benchdiff
 
 all: build test
 
@@ -34,6 +34,14 @@ simcheck:
 # `jq -r 'select(.Action=="output") .Output' BENCH_cosim.json | grep ns/op`.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -json . > BENCH_cosim.json
+
+# Compare a fresh bench run against the committed baseline
+# (testdata/bench-baseline.json): warns on >20% ns/op regression or
+# any allocs/op growth. Non-blocking for now (single-iteration runs
+# are noisy); `go run ./cmd/benchdiff -strict` makes warnings fatal,
+# and `-update` refreshes the baseline after an intentional change.
+benchdiff: bench
+	$(GO) run ./cmd/benchdiff
 
 # Everything a PR must pass.
 premerge: build vet lint test race simcheck

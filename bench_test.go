@@ -101,6 +101,94 @@ func BenchmarkNoCCyclesParallel(b *testing.B) {
 	}
 }
 
+// injEvent is one precomputed injection in a benchmark quantum: the
+// timed loops below pay for simulation, not traffic generation.
+type injEvent struct {
+	src, dst, size int
+	off            sim.Cycle
+}
+
+// quantumPlan precomputes one 64-cycle quantum of Bernoulli uniform
+// traffic, ordered by cycle so per-source creation times are
+// nondecreasing.
+func quantumPlan(rate float64, terms int) []injEvent {
+	rng := sim.NewRNG(3, 17)
+	var plan []injEvent
+	for off := 0; off < 64; off++ {
+		for s := 0; s < terms; s++ {
+			if !rng.Bernoulli(rate) {
+				continue
+			}
+			d := rng.Intn(terms - 1)
+			if d >= s {
+				d++
+			}
+			plan = append(plan, injEvent{src: s, dst: d, size: 1, off: sim.Cycle(off)})
+		}
+	}
+	return plan
+}
+
+// benchQuantum measures the cosim-shaped steady state on a 64-router
+// mesh: inject one quantum's traffic with future timestamps, advance
+// to the boundary, drain, recycle. The pool plus retained scratch make
+// this loop report 0 allocs/op under -benchmem when gating is on.
+func benchQuantum(b *testing.B, rate float64, disableGating bool) {
+	m := topology.NewMesh(8, 8, 1)
+	cfg := noc.DefaultConfig()
+	cfg.DisableGating = disableGating
+	net, err := noc.New(cfg, m, topology.NewXY(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	plan := quantumPlan(rate, 64)
+	quantum := func() {
+		base := net.Cycle()
+		for _, ev := range plan {
+			if net.InFlight() > 2048 {
+				break // saturated run: stop offering once backed up
+			}
+			p := net.NewPacket()
+			p.Src, p.Dst, p.Size = ev.src, ev.dst, ev.size
+			net.Inject(p, base+ev.off)
+		}
+		net.AdvanceTo(base + 64)
+		for _, p := range net.Drain() {
+			net.Recycle(p)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		quantum() // warm scratch capacities and the packet pool
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quantum()
+	}
+	b.StopTimer()
+	act := net.ActivityStats()
+	b.ReportMetric(act.Occupancy(), "active-occupancy")
+	b.ReportMetric(float64(act.Skipped)/float64(act.Stepped+act.Skipped), "skipped-frac")
+}
+
+// BenchmarkStepIdleMesh is the activity-gating headline: a 64-tile
+// mesh at 1% injection, where most routers are idle most cycles. Its
+// exhaustive twin below sweeps all 64 routers every cycle; the gated
+// run must come in at least ~3x faster (tracked by cmd/benchdiff).
+func BenchmarkStepIdleMesh(b *testing.B) { benchQuantum(b, 0.01, false) }
+
+// BenchmarkStepIdleMeshExhaustive is the same load with
+// -no-fastforward semantics: the pre-gating cost reference.
+func BenchmarkStepIdleMeshExhaustive(b *testing.B) { benchQuantum(b, 0.01, true) }
+
+// BenchmarkStepSaturated keeps every router busy (45% injection): the
+// gating bookkeeping must cost within a few percent of the exhaustive
+// sweep here, since there is nothing to skip.
+func BenchmarkStepSaturated(b *testing.B) { benchQuantum(b, 0.45, false) }
+
+// BenchmarkStepSaturatedExhaustive is the saturated cost reference.
+func BenchmarkStepSaturatedExhaustive(b *testing.B) { benchQuantum(b, 0.45, true) }
+
 // BenchmarkFullSystemCycles measures the coarse-grain system
 // simulator's cycle rate (16 tiles, abstract network).
 func BenchmarkFullSystemCycles(b *testing.B) {

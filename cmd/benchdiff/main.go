@@ -1,0 +1,194 @@
+// Command benchdiff compares a fresh `make bench` output
+// (BENCH_cosim.json, in `go test -json` form) against the committed
+// baseline in testdata/bench-baseline.json and reports regressions:
+// more than 20% in ns/op, or any allocs/op growth (the activity-gating
+// benchmarks assert a zero-alloc steady state, so a single new
+// allocation per op is a real leak, not noise).
+//
+// The default exit status is 0 even when regressions are found — the
+// bench target runs one iteration per benchmark, so ns/op carries
+// scheduler noise and CI treats the report as a non-blocking warning.
+// Pass -strict to exit non-zero on any warning (the plan of record is
+// to flip CI to -strict once the baseline has aged a PR), and -update
+// to rewrite the baseline from the fresh run.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff [-bench BENCH_cosim.json] [-baseline testdata/bench-baseline.json] [-strict] [-update]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's tracked numbers. Custom ReportMetric units
+// (active-occupancy and the like) are deliberately not tracked: they
+// are workload properties, not costs.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// nsTolerance is the fractional ns/op growth tolerated before a
+// warning; allocs/op tolerates nothing.
+const nsTolerance = 0.20
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark results from a `go test -json` stream.
+// When a benchmark appears more than once (-count > 1), the minimum
+// ns/op and maximum allocs/op are kept: the min is the least-noisy
+// speed estimate, the max the most conservative allocation count.
+func parseBench(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// test2json splits one benchmark result across Output events (the
+	// name is printed before the run, the numbers after), so reassemble
+	// the plain-text stream and split on real newlines.
+	var text strings.Builder
+	for sc.Scan() {
+		var ev struct {
+			Action string
+			Output string
+		}
+		if json.Unmarshal(sc.Bytes(), &ev) == nil && ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	for _, raw := range strings.Split(text.String(), "\n") {
+		line := strings.TrimSpace(raw)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		r, seen := out[name]
+		// After the iteration count, the line is value-unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if !seen || v < r.NsPerOp {
+					r.NsPerOp = v
+				}
+			case "allocs/op":
+				if !seen || v > r.AllocsPerOp {
+					r.AllocsPerOp = v
+				}
+			}
+		}
+		out[name] = r
+	}
+	return out, sc.Err()
+}
+
+func writeBaseline(path string, res map[string]result) error {
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+func main() {
+	benchPath := flag.String("bench", "BENCH_cosim.json", "fresh `go test -json` bench output")
+	basePath := flag.String("baseline", "testdata/bench-baseline.json", "committed baseline")
+	strict := flag.Bool("strict", false, "exit non-zero on any warning")
+	update := flag.Bool("update", false, "rewrite the baseline from the fresh run")
+	flag.Parse()
+
+	fresh, err := parseBench(*benchPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark results in %s\n", *benchPath)
+		os.Exit(1)
+	}
+	if *update {
+		if err := writeBaseline(*basePath, fresh); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(fresh), *basePath)
+		return
+	}
+
+	blob, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: no baseline (%v); run with -update to create one\n", err)
+		if *strict {
+			os.Exit(1)
+		}
+		return
+	}
+	base := make(map[string]result)
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad baseline %s: %v\n", *basePath, err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	warnings := 0
+	for _, name := range names {
+		f := fresh[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("new       %-36s %12.0f ns/op %6.0f allocs/op (no baseline entry)\n",
+				name, f.NsPerOp, f.AllocsPerOp)
+			continue
+		}
+		switch {
+		case f.AllocsPerOp > b.AllocsPerOp:
+			warnings++
+			fmt.Printf("WARN      %-36s allocs/op grew %.0f -> %.0f\n",
+				name, b.AllocsPerOp, f.AllocsPerOp)
+		case b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*(1+nsTolerance):
+			warnings++
+			fmt.Printf("WARN      %-36s ns/op regressed %.0f -> %.0f (%+.0f%%)\n",
+				name, b.NsPerOp, f.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1))
+		}
+	}
+	for name := range base {
+		if _, ok := fresh[name]; !ok {
+			warnings++
+			fmt.Printf("WARN      %-36s missing from fresh run\n", name)
+		}
+	}
+
+	if warnings == 0 {
+		fmt.Printf("benchdiff: %d benchmarks within tolerance of %s\n", len(fresh), *basePath)
+		return
+	}
+	fmt.Printf("benchdiff: %d warning(s) against %s\n", warnings, *basePath)
+	if *strict {
+		os.Exit(1)
+	}
+}

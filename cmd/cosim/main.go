@@ -51,6 +51,7 @@ func main() {
 		obsTable  = flag.String("obs-table", "", "print observability tables after each mode: comma list of metrics,calib")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		progress  = flag.Duration("progress", 0, "print a progress heartbeat (sim-cycles/sec, ETA) to stderr at this interval (0 = off)")
+		noFF      = flag.Bool("no-fastforward", false, "disable NoC activity gating and idle-cycle fast-forward (exhaustive per-cycle sweep; bit-identical results, for bisecting)")
 	)
 	flag.Parse()
 	if *ckptPath == "" && (*ckptEvery > 0 || *resume) {
@@ -88,6 +89,7 @@ func main() {
 	cfg.System.PrefetchDegree = *prefetch
 	cfg.RouterArch = *router
 	cfg.ComponentWorkers = *compWork
+	cfg.DisableGating = *noFF
 
 	var results []core.Result
 	allFinished := true

@@ -84,6 +84,13 @@ type Backend interface {
 type CycleNet interface {
 	Inject(p *noc.Packet, at sim.Cycle)
 	Step()
+	// AdvanceTo simulates through the end of cycle c-1, fast-forwarding
+	// idle spans when activity gating is enabled (bit-identical to
+	// stepping every cycle).
+	AdvanceTo(c sim.Cycle)
+	// NextEventCycle reports the earliest cycle at or after the current
+	// one at which any router must run (false: nothing pending).
+	NextEventCycle() (sim.Cycle, bool)
 	Cycle() sim.Cycle
 	Drain() []*noc.Packet
 	Tracker() *stats.LatencyTracker
@@ -92,6 +99,11 @@ type CycleNet interface {
 	// output ports including ejection — the switching-activity measure
 	// the observability layer samples per quantum.
 	FlitsSwitched() uint64
+	// NewPacket and Recycle expose the network's packet free list (see
+	// noc.Network.NewPacket); ActivityStats its gating work accounting.
+	NewPacket() *noc.Packet
+	Recycle(p *noc.Packet)
+	ActivityStats() noc.ActivityStats
 	Close()
 }
 
@@ -109,12 +121,19 @@ func (d *Detailed) Name() string { return "detailed" }
 // Inject implements Backend.
 func (d *Detailed) Inject(p *noc.Packet, at sim.Cycle) { d.Net.Inject(p, at) }
 
-// AdvanceTo implements Backend by stepping the network cycle by cycle.
-func (d *Detailed) AdvanceTo(c sim.Cycle) {
-	for d.Net.Cycle() < c {
-		d.Net.Step()
-	}
-}
+// AdvanceTo implements Backend; the network fast-forwards idle spans.
+func (d *Detailed) AdvanceTo(c sim.Cycle) { d.Net.AdvanceTo(c) }
+
+// NewPacket implements the coordinator's optional packetSource
+// interface, backing SenderFor allocations with the network free list.
+func (d *Detailed) NewPacket() *noc.Packet { return d.Net.NewPacket() }
+
+// Recycle implements the optional packetRecycler interface: the
+// coordinator hands packets back after applying their deliveries.
+func (d *Detailed) Recycle(p *noc.Packet) { d.Net.Recycle(p) }
+
+// ActivityStats reports the wrapped network's gating work accounting.
+func (d *Detailed) ActivityStats() noc.ActivityStats { return d.Net.ActivityStats() }
 
 // Drain implements Backend.
 func (d *Detailed) Drain() []*noc.Packet { return d.Net.Drain() }

@@ -53,6 +53,10 @@ type Cosim struct {
 	// is the uninstrumented fast path — one branch per site.
 	obsH *obsHandles
 
+	// recycler, when the backend implements packetRecycler, receives
+	// every packet back after its delivery is applied.
+	recycler packetRecycler
+
 	cycle       sim.Cycle
 	skewSum     uint64
 	skewMax     sim.Cycle
@@ -62,6 +66,21 @@ type Cosim struct {
 	lastRetired uint64
 	stuckFor    int
 	stalled     bool
+}
+
+// packetSource is the optional Backend surface exposing a packet free
+// list (noc's recycling pool). Backends that retain packet pointers
+// past delivery — the hybrid/calibrated pair tracking and the
+// recorder — simply don't implement it, which keeps pooling safe by
+// construction.
+type packetSource interface {
+	NewPacket() *noc.Packet
+}
+
+// packetRecycler is the matching return surface: the coordinator hands
+// a packet back once its delivery has been applied to the system.
+type packetRecycler interface {
+	Recycle(p *noc.Packet)
 }
 
 // memComponent adapts one fullsys memory port (a tile's dram.Oracle)
@@ -91,6 +110,7 @@ func New(sys *fullsys.System, backend Backend, quantum int) (*Cosim, error) {
 		return nil, fmt.Errorf("core: quantum must be >= 1, got %d", quantum)
 	}
 	c := &Cosim{Sys: sys, Net: backend, Quantum: quantum, WatchdogQuanta: 1 << 20}
+	c.recycler, _ = backend.(packetRecycler)
 	c.memPorts = sys.ClaimMemory()
 	c.comps = append(c.comps, backend)
 	for _, p := range c.memPorts {
@@ -123,6 +143,7 @@ func (c *Cosim) Close() {
 // be in nondecreasing time order.
 func SenderFor(backend Backend) fullsys.Sender {
 	var lastInject []sim.Cycle
+	src, _ := backend.(packetSource)
 	return func(m fullsys.Msg, at sim.Cycle) {
 		if sim.Checking {
 			for len(lastInject) <= m.Src {
@@ -133,14 +154,19 @@ func SenderFor(backend Backend) fullsys.Sender {
 				m.Src, at, lastInject[m.Src])
 			lastInject[m.Src] = at
 		}
-		backend.Inject(&noc.Packet{
-			Src:     m.Src,
-			Dst:     m.Dst,
-			VNet:    m.Type.VNet(),
-			Class:   m.Type.Class(),
-			Size:    m.Flits(),
-			Payload: m,
-		}, at)
+		var p *noc.Packet
+		if src != nil {
+			p = src.NewPacket()
+		} else {
+			p = &noc.Packet{}
+		}
+		p.Src = m.Src
+		p.Dst = m.Dst
+		p.VNet = m.Type.VNet()
+		p.Class = m.Type.Class()
+		p.Size = m.Flits()
+		p.Payload = m
+		backend.Inject(p, at)
 	}
 }
 
@@ -292,6 +318,9 @@ func (c *Cosim) Step() bool {
 		netDone++
 		c.delivered++
 		c.Sys.Deliver(p.Payload.(fullsys.Msg), p.DeliveredAt)
+		if c.recycler != nil {
+			c.recycler.Recycle(p)
+		}
 	}
 	if h != nil {
 		h.endQuantum(c, end, memDone, netDone)

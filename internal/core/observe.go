@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/calib"
+	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -57,11 +58,23 @@ type obsHandles struct {
 	// (detailed cycle-level networks); nil otherwise.
 	flits      func() uint64
 	flitsGauge *obs.Gauge
+
+	// activity samples the gating layer's work accounting when the
+	// backend exposes it (detailed and GPU backends); nil otherwise.
+	activity   func() noc.ActivityStats
+	actStepped *obs.Gauge
+	actSkipped *obs.Gauge
+	actOcc     *obs.Gauge
+	actPool    *obs.Gauge
 }
 
 // flitSwitcher is the optional switching-activity surface of a
 // backend (satisfied by Detailed over either cycle-level network).
 type flitSwitcher interface{ FlitsSwitched() uint64 }
+
+// activityReporter is the optional activity-gating telemetry surface
+// of a backend (satisfied by Detailed and the GPU offload).
+type activityReporter interface{ ActivityStats() noc.ActivityStats }
 
 // wallHistBins sizes the host-time histograms: 10us bins up to 10ms.
 const (
@@ -100,6 +113,13 @@ func (c *Cosim) SetObserver(o *obs.Observer) {
 	if fs, ok := c.Net.(flitSwitcher); ok {
 		h.flits = fs.FlitsSwitched
 		h.flitsGauge = o.Gauge("net.flits_switched")
+	}
+	if ar, ok := c.Net.(activityReporter); ok {
+		h.activity = ar.ActivityStats
+		h.actStepped = o.Gauge("net.cycles_stepped")
+		h.actSkipped = o.Gauge("net.cycles_skipped")
+		h.actOcc = o.Gauge("net.active_occupancy")
+		h.actPool = o.Gauge("net.pool_hit_rate")
 	}
 	for _, comp := range c.comps {
 		h.tids = append(h.tids, o.Track(comp.Name()))
@@ -169,5 +189,13 @@ func (h *obsHandles) endQuantum(c *Cosim, end sim.Cycle, memDone, netDone int) {
 		f := h.flits()
 		h.flitsGauge.Set(float64(f))
 		h.tr.Counter("net.flits_switched", end, float64(f))
+	}
+	if h.activity != nil {
+		a := h.activity()
+		h.actStepped.Set(float64(a.Stepped))
+		h.actSkipped.Set(float64(a.Skipped))
+		h.actOcc.Set(a.Occupancy())
+		h.actPool.Set(a.PoolHitRate())
+		h.tr.Counter("net.cycles_skipped", end, float64(a.Skipped))
 	}
 }

@@ -162,7 +162,7 @@ func (c *Controller) Tick(now sim.Cycle) {
 		return
 	}
 	r := c.queue[idx]
-	c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+	c.queue = append(c.queue[:idx], c.queue[idx+1:]...) //simlint:allow alloc in-place removal within the existing backing array, never grows
 	c.issue(r, now)
 }
 

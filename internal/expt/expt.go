@@ -188,6 +188,7 @@ func TableT1(s Scale) []*stats.Table {
 	t.AddRow("router", fmt.Sprintf("%d VNets x %d VCs, %d-flit buffers, %d-stage pipeline, %d-cycle links",
 		cfg.Router.VNets, cfg.Router.VCsPerVNet, cfg.Router.BufDepth, cfg.Router.RouterStages, cfg.Router.LinkLatency))
 	t.AddRow("packets", "1-flit control, 5-flit data (64B line / 16B flits)")
+	t.AddRow("NoC stepping", "activity-gated + idle fast-forward (exhaustive sweep via -no-fastforward)")
 	t.AddRow("quantum", cfg.Quantum)
 	return []*stats.Table{t}
 }

@@ -2,6 +2,7 @@ package expt
 
 import (
 	"fmt"
+	"time"
 
 	"repro"
 	"repro/internal/abstractnet"
@@ -131,12 +132,14 @@ func TableT2(s Scale) []*stats.Table {
 		{"4vc-2buf-xy", 4, 2, "xy"},
 	}
 	t := stats.NewTable("T2: NoC design space — system-level vs network-only view",
-		"config", "exec-cycles", "cosim-lat", "noc-only-lat", "sys-rank", "noc-rank")
+		"config", "exec-cycles", "cosim-lat", "noc-only-lat", "sys-rank", "noc-rank",
+		"net-gated-ms", "net-exhaust-ms", "gate-speedup")
 
 	type row struct {
 		name           string
 		exec           sim.Cycle
 		cosimLat, nLat float64
+		gated, exhaust time.Duration
 	}
 	var rows []row
 	for _, p := range points {
@@ -146,13 +149,28 @@ func TableT2(s Scale) []*stats.Table {
 		cfg.Router.BufDepth = p.depth
 		cfg.Routing = p.routing
 		res := runCosimWith(cfg, s, "radix")
+		// The same design point under the exhaustive -no-fastforward
+		// sweep: results must be bit-identical (activity gating is a
+		// speed knob, never an accuracy knob), only NetWall may differ.
+		exCfg := cfg
+		exCfg.DisableGating = true
+		exRes := runCosimWith(exCfg, s, "radix")
+		if exRes.ExecCycles != res.ExecCycles || exRes.Packets != res.Packets {
+			panic(fmt.Sprintf("expt: T2 %s: gated and exhaustive runs diverged", p.name))
+		}
 		nLat := nocOnlyLatency(cfg, s)
-		rows = append(rows, row{p.name, res.ExecCycles, res.AvgLatency, nLat})
+		rows = append(rows, row{p.name, res.ExecCycles, res.AvgLatency, nLat,
+			res.NetWall, exRes.NetWall})
 	}
 	sysRank := rankBy(rows, func(r row) float64 { return float64(r.exec) })
 	nocRank := rankBy(rows, func(r row) float64 { return r.nLat })
 	for i, r := range rows {
-		t.AddRow(r.name, uint64(r.exec), r.cosimLat, r.nLat, sysRank[i], nocRank[i])
+		sp := 0.0
+		if r.gated > 0 {
+			sp = float64(r.exhaust) / float64(r.gated)
+		}
+		t.AddRow(r.name, uint64(r.exec), r.cosimLat, r.nLat, sysRank[i], nocRank[i],
+			wallMS(r.gated), wallMS(r.exhaust), sp)
 	}
 	return []*stats.Table{t}
 }

@@ -136,17 +136,23 @@ func (b *Backend) Inject(p *noc.Packet, at sim.Cycle) {
 }
 
 // AdvanceTo simulates one quantum as an offloaded batch: transfer the
-// buffered injections, launch one kernel per cycle, transfer the
-// deliveries back.
+// buffered injections, launch one kernel per phase per simulated
+// cycle, transfer the deliveries back. Cycles the network
+// fast-forwards over (activity gating) launch no kernels — the host
+// would simply not enqueue work for an empty window — so the modelled
+// device time, a host-cost account, scales with activity too.
 func (b *Backend) AdvanceTo(c sim.Cycle) {
-	cycles := int64(c) - int64(b.net.Cycle())
-	if cycles <= 0 {
+	if c <= b.net.Cycle() {
 		return
 	}
+	before := b.net.ActivityStats().Stepped
+	b.net.AdvanceTo(c)
+	stepped := b.net.ActivityStats().Stepped - before
+
 	waves := b.dev.Waves(b.net.Topology().NumRouters())
-	kernels := cycles * int64(b.dev.Phases) // one kernel per phase per cycle
+	kernels := stepped * uint64(b.dev.Phases) // one kernel per phase per stepped cycle
 	b.stats.Quanta++
-	b.stats.Kernels += uint64(kernels)
+	b.stats.Kernels += kernels
 	b.stats.LaunchNs += float64(kernels) * b.dev.KernelLaunchNs
 	b.stats.ComputeNs += float64(kernels) * float64(waves) * b.dev.PhaseCostNs
 
@@ -154,12 +160,6 @@ func (b *Backend) AdvanceTo(c sim.Cycle) {
 	b.pendingInj = 0
 	b.stats.BytesToDevice += toDev
 	b.stats.TransferNs += b.dev.TransferLatencyNs + float64(toDev)/b.dev.TransferBytesPerNs
-
-	// Deliveries produced this quantum come back in the return
-	// transfer; they are counted when drained.
-	for b.net.Cycle() < c {
-		b.net.Step()
-	}
 }
 
 // Drain implements the backend contract, accounting the device-to-host
@@ -180,6 +180,16 @@ func (b *Backend) Tracker() *stats.LatencyTracker { return b.net.Tracker() }
 
 // InFlight implements the backend contract.
 func (b *Backend) InFlight() int { return b.net.InFlight() }
+
+// NewPacket implements the coordinator's optional packet-pool surface
+// by delegating to the wrapped network's free list.
+func (b *Backend) NewPacket() *noc.Packet { return b.net.NewPacket() }
+
+// Recycle returns a delivered packet to the network's free list.
+func (b *Backend) Recycle(p *noc.Packet) { b.net.Recycle(p) }
+
+// ActivityStats reports the wrapped network's gating work accounting.
+func (b *Backend) ActivityStats() noc.ActivityStats { return b.net.ActivityStats() }
 
 // Close implements the backend contract.
 func (b *Backend) Close() { b.net.Close() }

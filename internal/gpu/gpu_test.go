@@ -10,8 +10,13 @@ import (
 
 func backendOver(t *testing.T, side int) *Backend {
 	t.Helper()
+	return backendOverCfg(t, side, noc.DefaultConfig())
+}
+
+func backendOverCfg(t *testing.T, side int, cfg noc.Config) *Backend {
+	t.Helper()
 	m := topology.NewMesh(side, side, 1)
-	net, err := noc.New(noc.DefaultConfig(), m, topology.NewXY(m))
+	net, err := noc.New(cfg, m, topology.NewXY(m))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +37,11 @@ func TestWaves(t *testing.T) {
 }
 
 func TestAdvanceAccountsKernels(t *testing.T) {
-	b := backendOver(t, 4)
+	// With the exhaustive sweep forced, every cycle in the window
+	// launches one kernel per phase — the pre-gating accounting.
+	cfg := noc.DefaultConfig()
+	cfg.DisableGating = true
+	b := backendOverCfg(t, 4, cfg)
 	b.Inject(&noc.Packet{Src: 0, Dst: 15, VNet: 0, Size: 5}, 0)
 	b.AdvanceTo(64)
 	st := b.DeviceStats()
@@ -52,6 +61,29 @@ func TestAdvanceAccountsKernels(t *testing.T) {
 	b.AdvanceTo(64)
 	if b.DeviceStats().Kernels != st.Kernels {
 		t.Error("advancing to the same cycle accrued kernels")
+	}
+}
+
+func TestAdvanceAccountsKernelsGated(t *testing.T) {
+	// With activity gating (the default), fast-forwarded cycles launch
+	// no kernels: the count tracks stepped cycles exactly and comes in
+	// under the exhaustive window.
+	b := backendOver(t, 4)
+	b.Inject(&noc.Packet{Src: 0, Dst: 15, VNet: 0, Size: 5}, 0)
+	b.AdvanceTo(64)
+	st := b.DeviceStats()
+	act := b.ActivityStats()
+	if want := act.Stepped * uint64(b.Device().Phases); st.Kernels != want {
+		t.Errorf("kernels = %d, want stepped*phases = %d", st.Kernels, want)
+	}
+	if act.Skipped == 0 {
+		t.Error("a lone 5-flit packet in 64 cycles should fast-forward some cycles")
+	}
+	if st.Kernels >= uint64(64*b.Device().Phases) {
+		t.Errorf("gated kernel count %d not below exhaustive %d", st.Kernels, 64*b.Device().Phases)
+	}
+	if st.LaunchNs != float64(st.Kernels)*b.Device().KernelLaunchNs {
+		t.Error("launch accounting wrong")
 	}
 }
 

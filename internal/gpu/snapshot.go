@@ -7,13 +7,14 @@ import (
 
 // SnapshotTo writes the offload accounting and the wrapped network's
 // complete state. The device parameters are construction-time
-// configuration covered by the caller's config digest.
+// configuration covered by the caller's config digest. The kernel
+// counters (Kernels, LaunchNs, ComputeNs) are excluded: they account
+// host-side simulator effort, which depends on activity gating, and a
+// checkpoint must hold only simulated state so its bytes are identical
+// with gating on or off.
 func (b *Backend) SnapshotTo(e *snapshot.Encoder, pc snapshot.PayloadCodec) {
 	e.Section("gpu")
 	e.U64(b.stats.Quanta)
-	e.U64(b.stats.Kernels)
-	e.F64(b.stats.LaunchNs)
-	e.F64(b.stats.ComputeNs)
 	e.F64(b.stats.TransferNs)
 	e.U64(b.stats.BytesToDevice)
 	e.U64(b.stats.BytesFromDevice)
@@ -23,13 +24,15 @@ func (b *Backend) SnapshotTo(e *snapshot.Encoder, pc snapshot.PayloadCodec) {
 }
 
 // RestoreFrom reloads state written by SnapshotTo into a backend built
-// over an identically configured network and device model.
+// over an identically configured network and device model. The kernel
+// counters restart from zero (they are host-cost telemetry, not
+// simulated state).
 func (b *Backend) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, track func(*noc.Packet)) error {
 	d.Section("gpu")
 	b.stats.Quanta = d.U64()
-	b.stats.Kernels = d.U64()
-	b.stats.LaunchNs = d.F64()
-	b.stats.ComputeNs = d.F64()
+	b.stats.Kernels = 0
+	b.stats.LaunchNs = 0
+	b.stats.ComputeNs = 0
 	b.stats.TransferNs = d.F64()
 	b.stats.BytesToDevice = d.U64()
 	b.stats.BytesFromDevice = d.U64()

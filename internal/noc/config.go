@@ -41,6 +41,12 @@ type Config struct {
 	// into an input buffer. 1 models an aggressive single-cycle
 	// router; the default 2 models a two-stage router.
 	RouterStages int
+	// DisableGating turns off activity gating and idle-cycle
+	// fast-forward, forcing the exhaustive every-router-every-cycle
+	// sweep. Simulated results are bit-identical either way; this
+	// escape hatch exists so regressions can be bisected against the
+	// exhaustive sweep (cmd/cosim -no-fastforward).
+	DisableGating bool
 }
 
 // DefaultConfig returns the baseline router used throughout the

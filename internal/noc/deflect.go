@@ -2,7 +2,7 @@ package noc
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/noc/engine"
 	"repro/internal/noc/topology"
@@ -36,6 +36,19 @@ type Deflection struct {
 	delivered uint64
 	nextID    uint64
 	drainBuf  []*Packet
+
+	// Activity gating (active.go): wake schedule, the lists the
+	// pre-bound engine closures index, and the packet free list. All
+	// derived or host-side state, excluded from snapshots.
+	gate       gate
+	activeList []int32
+	swapList   []int32
+	pool       packetPool
+	stepFn     func(i int)
+	swapFn     func(i int)
+	// nbrOf[r*4+d] is the router across direction d (-1 when the edge
+	// port has no link); the wake pass walks it every stepped cycle.
+	nbrOf []int32
 }
 
 // DeflectConfig parameterizes the bufferless network.
@@ -46,6 +59,9 @@ type DeflectConfig struct {
 	// InjectQueueCap bounds the per-terminal source queue in flits
 	// (0 = unbounded).
 	InjectQueueCap int
+	// DisableGating forces the exhaustive every-router-every-cycle
+	// sweep; see Config.DisableGating.
+	DisableGating bool
 }
 
 // DefaultDeflectConfig returns the standard single-ejector router.
@@ -122,6 +138,20 @@ func NewDeflection(cfg DeflectConfig, topo topology.Topology, opts ...DeflectOpt
 	for _, o := range opts {
 		o(n)
 	}
+	n.gate.disabled = cfg.DisableGating
+	n.gate.reset(len(n.routers))
+	n.nbrOf = make([]int32, len(n.routers)*4)
+	for r := range n.routers {
+		for d := 0; d < 4; d++ {
+			n.nbrOf[r*4+d] = -1
+			if nb, _, ok := n.topo.Link(r, 1+d); ok {
+				n.nbrOf[r*4+d] = int32(nb)
+			}
+		}
+	}
+	// Pre-bound closures so a gated Step allocates nothing.
+	n.stepFn = func(i int) { n.stepRouter(int(n.activeList[i])) }
+	n.swapFn = func(i int) { n.swapRouter(int(n.swapList[i])) }
 	return n, nil
 }
 
@@ -156,7 +186,22 @@ func (n *Deflection) Inject(p *Packet, at sim.Cycle) {
 		ni.queue = append(ni.queue, deflFlit{pkt: p, seq: s})
 	}
 	n.injected++
+	if !n.gate.disabled {
+		r, _ := n.topo.RouterOf(p.Src)
+		if at < n.cycle {
+			at = n.cycle
+		}
+		n.gate.wake(int32(r), at, n.cycle)
+	}
 }
+
+// NewPacket returns a zeroed packet, recycled when possible (see
+// Network.NewPacket).
+func (n *Deflection) NewPacket() *Packet { return n.pool.get() }
+
+// Recycle returns a drained packet to the free list (see
+// Network.Recycle).
+func (n *Deflection) Recycle(p *Packet) { n.pool.put(p) }
 
 // Cycle reports the next cycle to simulate.
 func (n *Deflection) Cycle() sim.Cycle { return n.cycle }
@@ -166,17 +211,118 @@ func (n *Deflection) Cycle() sim.Cycle { return n.cycle }
 // slots plus terminal-local state, so the engine may parallelize it;
 // the swap pass promotes staged flits.
 func (n *Deflection) Step() {
-	R := len(n.routers)
-	n.eng.Run(R, n.stepRouter)
-	n.eng.Run(R, n.swapRouter)
+	if n.gate.disabled {
+		R := len(n.routers)
+		n.eng.Run(R, n.stepRouter)
+		n.eng.Run(R, n.swapRouter)
+		n.gate.stepped++
+		n.cycle++
+		return
+	}
+	n.activeList = n.gate.due(n.cycle)
+	n.gate.stepped++
+	n.gate.activeSum += uint64(len(n.activeList))
+	if len(n.activeList) > 0 {
+		n.eng.Run(len(n.activeList), n.stepFn)
+		n.wakePass()
+	}
 	n.cycle++
 }
 
-// Run simulates the given number of cycles.
-func (n *Deflection) Run(cycles int) {
-	for i := 0; i < cycles; i++ {
+// wakePass runs sequentially after the router pass. Staged arrivals
+// can exist only at active routers and their neighbours; swap exactly
+// the routers that hold one (once each — a second swap would wipe the
+// promoted arrivals), then re-arm wakes for next-cycle work.
+func (n *Deflection) wakePass() {
+	now := n.cycle
+	cand := n.swapList[:0]
+	for _, r32 := range n.activeList {
+		r := int(r32)
+		cand = append(cand, r32)
+		for d := 0; d < 4; d++ {
+			if nb := n.nbrOf[r*4+d]; nb >= 0 {
+				cand = append(cand, nb)
+			}
+		}
+	}
+	slices.Sort(cand)
+	out := cand[:0]
+	prev := int32(-1)
+	for _, c := range cand {
+		if c == prev {
+			continue
+		}
+		prev = c
+		rt := &n.routers[c]
+		if rt.next[0].pkt != nil || rt.next[1].pkt != nil ||
+			rt.next[2].pkt != nil || rt.next[3].pkt != nil {
+			out = append(out, c)
+		}
+	}
+	n.swapList = out
+	n.eng.Run(len(out), n.swapFn)
+	// A router that just received arrivals must run next cycle.
+	for _, r := range out {
+		n.gate.markNext(r)
+	}
+	// An NI with queued flits re-arms its router: immediately when the
+	// head is (or next cycle becomes) eligible, at its creation cycle
+	// otherwise.
+	for _, r32 := range n.activeList {
+		ni := &n.ifaces[n.topo.TerminalAt(int(r32), 0)]
+		if ni.qHead < len(ni.queue) {
+			if at := ni.queue[ni.qHead].pkt.CreatedAt; at > now+1 {
+				n.gate.wake(r32, at, now)
+			} else {
+				n.gate.markNext(r32)
+			}
+		}
+	}
+}
+
+// NextEventCycle reports the earliest cycle at or after the current
+// one at which any router must run; see Network.NextEventCycle.
+func (n *Deflection) NextEventCycle() (sim.Cycle, bool) {
+	if n.gate.disabled {
+		return n.cycle, true
+	}
+	return n.gate.next(n.cycle)
+}
+
+// AdvanceTo simulates through the end of cycle c-1, fast-forwarding
+// idle spans; bit-identical to stepping every cycle.
+func (n *Deflection) AdvanceTo(c sim.Cycle) {
+	for n.cycle < c {
+		next, ok := n.NextEventCycle()
+		if !ok || next >= c {
+			n.gate.skipped += uint64(c - n.cycle)
+			n.cycle = c
+			return
+		}
+		if next > n.cycle {
+			n.gate.skipped += uint64(next - n.cycle)
+			n.cycle = next
+		}
 		n.Step()
 	}
+}
+
+// ActivityStats reports the gating layer's work accounting.
+func (n *Deflection) ActivityStats() ActivityStats {
+	return ActivityStats{
+		Stepped:    n.gate.stepped,
+		Skipped:    n.gate.skipped,
+		ActiveSum:  n.gate.activeSum,
+		Routers:    len(n.routers),
+		PoolHits:   n.pool.hits,
+		PoolMisses: n.pool.misses,
+	}
+}
+
+// Run simulates the given number of cycles, fast-forwarding idle
+// spans.
+func (n *Deflection) Run(cycles int) {
+	n.AdvanceTo(n.cycle + sim.Cycle(cycles))
 }
 
 // productiveDirs appends the directions that reduce distance to dst.
@@ -226,7 +372,7 @@ func (n *Deflection) stepRouter(r int) {
 	flits := rt.scratch[:0]
 	for d := 0; d < 4; d++ {
 		if rt.in[d].pkt != nil {
-			flits = append(flits, rt.in[d])
+			flits = append(flits, rt.in[d]) //simlint:allow alloc refills rt.scratch, whose capacity covers links+1 flits after first use
 			rt.in[d] = deflFlit{}
 		}
 	}
@@ -243,7 +389,7 @@ func (n *Deflection) stepRouter(r int) {
 			ejected++
 			continue
 		}
-		kept = append(kept, f)
+		kept = append(kept, f) //simlint:allow alloc in-place filter over the scratch backing array
 	}
 	flits = kept
 
@@ -269,7 +415,7 @@ func (n *Deflection) stepRouter(r int) {
 			rt.ejects++
 			ejected++
 		} else {
-			flits = append(flits, f)
+			flits = append(flits, f) //simlint:allow alloc bounded by links+1 entries; scratch capacity is retained below
 		}
 	}
 	rt.scratch = flits[:0] // retain capacity
@@ -366,18 +512,30 @@ func (n *Deflection) eject(ni *deflIface, f deflFlit, now sim.Cycle) {
 	}
 }
 
-// sortFlits orders by (age, packet id, seq): oldest first.
+// sortFlits orders by (age, packet id, seq): oldest first. Insertion
+// sort: the slice holds at most five flits (four arrivals plus one
+// injection) and sort.Slice would allocate in the hot path.
 func sortFlits(fs []deflFlit) {
-	sort.Slice(fs, func(i, j int) bool {
-		a, b := fs[i], fs[j]
-		if a.age != b.age {
-			return a.age < b.age
+	for i := 1; i < len(fs); i++ {
+		f := fs[i]
+		j := i - 1
+		for j >= 0 && flitAfter(fs[j], f) {
+			fs[j+1] = fs[j]
+			j--
 		}
-		if a.pkt.ID != b.pkt.ID {
-			return a.pkt.ID < b.pkt.ID
-		}
-		return a.seq < b.seq
-	})
+		fs[j+1] = f
+	}
+}
+
+// flitAfter reports whether a orders strictly after b (is younger).
+func flitAfter(a, b deflFlit) bool {
+	if a.age != b.age {
+		return a.age > b.age
+	}
+	if a.pkt.ID != b.pkt.ID {
+		return a.pkt.ID > b.pkt.ID
+	}
+	return a.seq > b.seq
 }
 
 // Drain returns packets fully reassembled at or before the current

@@ -83,11 +83,15 @@ func (ni *Iface) tryInject(n *Network, rt *router, now sim.Cycle) {
 		return
 	}
 	V := n.cfg.TotalVCs()
-	rt.in[ni.localPort*V+int(ni.curVC)].buf.push(flitEntry{
+	ivc := &rt.in[ni.localPort*V+int(ni.curVC)]
+	ivc.buf.push(flitEntry{
 		pkt:   ni.cur,
 		seq:   ni.curSeq,
 		ready: now + sim.Cycle(n.cfg.RouterStages-1),
 	})
+	if ivc.state == vcIdle && ivc.buf.len() == 1 {
+		rt.occ++
+	}
 	rt.bufWrites++
 	ni.credits[ni.curVC]--
 	ni.injectedFlits++

@@ -37,6 +37,23 @@ type Network struct {
 	delivered uint64
 	nextID    uint64
 	drainBuf  []*Packet
+
+	// Activity gating (active.go): the wake schedule, the active list
+	// the fused sweep indexes this cycle, and the packet free list.
+	// All of it is derived or host-side state, excluded from snapshots.
+	gate       gate
+	activeList []int32
+	pool       packetPool
+	fusedFn    func(i int)
+	phaseFns   [5]func(i int)
+	directFns  [5]func(i int)
+	// nbrOf[r*ports+p] is the router across port p of r, and
+	// xLink[r*ports+p] that neighbour's inbound link object (where r's
+	// sent flits land and r's output-port credits return); -1/nil when
+	// the port has no link. The per-cycle sweeps must not redo the
+	// topology's coordinate math.
+	nbrOf []int32
+	xLink []*link
 }
 
 // Option configures a Network at construction.
@@ -108,6 +125,78 @@ func New(cfg Config, topo topology.Topology, routing topology.Routing, opts ...O
 		r, p := topo.RouterOf(t)
 		n.ifaces[t] = newIface(t, r, p, cfg)
 	}
+
+	n.gate.disabled = cfg.DisableGating
+	n.gate.reset(R)
+	n.nbrOf = make([]int32, R*ports)
+	n.xLink = make([]*link, R*ports)
+	for r := 0; r < R; r++ {
+		for p := 0; p < ports; p++ {
+			n.nbrOf[r*ports+p] = -1
+			if nb, nbp, ok := topo.Link(r, p); ok {
+				n.nbrOf[r*ports+p] = int32(nb)
+				n.xLink[r*ports+p] = n.links[nb][nbp]
+			}
+		}
+	}
+	// The sweep closures index the current active list, so the engine
+	// can run a gated sweep without any per-Step closure allocation.
+	n.fusedFn = func(i int) { n.stepRouter(int(n.activeList[i])) }
+	// The gated phase-major closures carry the same occ == 0 skip as
+	// the fused stepRouter (see there for why it is byte-identical);
+	// the exhaustive DisableGating path never takes it.
+	n.phaseFns = [5]func(int){
+		func(i int) { n.phaseIngress(int(n.activeList[i])) },
+		func(i int) {
+			if r := int(n.activeList[i]); n.routers[r].occ > 0 {
+				n.phaseRC(r)
+			}
+		},
+		func(i int) {
+			if r := int(n.activeList[i]); n.routers[r].occ > 0 {
+				n.phaseVA(r)
+			}
+		},
+		func(i int) {
+			if r := int(n.activeList[i]); n.routers[r].occ > 0 {
+				n.phaseSA(r)
+			} else {
+				clearGrants(&n.routers[r])
+			}
+		},
+		func(i int) {
+			if r := int(n.activeList[i]); n.routers[r].occ > 0 {
+				n.phaseST(r)
+			}
+		},
+	}
+	// When every router is active, due() returns the identity list and
+	// the sweep can index routers directly.
+	n.directFns = [5]func(int){
+		n.phaseIngress,
+		func(r int) {
+			if n.routers[r].occ > 0 {
+				n.phaseRC(r)
+			}
+		},
+		func(r int) {
+			if n.routers[r].occ > 0 {
+				n.phaseVA(r)
+			}
+		},
+		func(r int) {
+			if n.routers[r].occ > 0 {
+				n.phaseSA(r)
+			} else {
+				clearGrants(&n.routers[r])
+			}
+		},
+		func(r int) {
+			if n.routers[r].occ > 0 {
+				n.phaseST(r)
+			}
+		},
+	}
 	return n, nil
 }
 
@@ -138,26 +227,245 @@ func (n *Network) Inject(p *Packet, at sim.Cycle) {
 	p.CreatedAt = at
 	n.ifaces[p.Src].enqueue(p)
 	n.injected++
+	if !n.gate.disabled {
+		r, _ := n.topo.RouterOf(p.Src)
+		if at < n.cycle {
+			at = n.cycle
+		}
+		n.gate.wake(int32(r), at, n.cycle)
+	}
 }
 
+// NewPacket returns a zeroed packet, recycled from the network's free
+// list when one is available. Callers that use it must hand delivered
+// packets back through Recycle once they are done with them.
+func (n *Network) NewPacket() *Packet { return n.pool.get() }
+
+// Recycle returns a drained packet to the free list. The caller must
+// hold the only remaining reference: a recycled packet is zeroed and
+// will be reused by a future NewPacket.
+func (n *Network) Recycle(p *Packet) { n.pool.put(p) }
+
 // Step simulates one cycle (the cycle reported by Cycle) and advances
-// the clock. The five phases each touch only router-owned state, so
-// the configured engine may run them across routers in parallel.
+// the clock. The five phases each touch only router-owned state plus
+// link-ring slots addressed at least one cycle in the future, so the
+// configured engine may run routers in parallel — and, for the same
+// reason, all five phases of one router may run fused in a single
+// sweep (stepRouter) with no barrier in between: no phase ever reads
+// a slot another router wrote this cycle. With activity gating
+// enabled (the default) the fused sweep visits only the active set,
+// in ascending router order so worker sharding stays deterministic; a
+// skipped router is a byte-level no-op under every phase (see
+// active.go). The exhaustive path keeps the original five-barrier
+// structure: it is the debugging reference, kept structurally simple
+// rather than fast.
 func (n *Network) Step() {
-	R := len(n.routers)
-	n.eng.Run(R, n.phaseIngress)
-	n.eng.Run(R, n.phaseRC)
-	n.eng.Run(R, n.phaseVA)
-	n.eng.Run(R, n.phaseSA)
-	n.eng.Run(R, n.phaseST)
+	if n.gate.disabled {
+		R := len(n.routers)
+		n.eng.Run(R, n.phaseIngress)
+		n.eng.Run(R, n.phaseRC)
+		n.eng.Run(R, n.phaseVA)
+		n.eng.Run(R, n.phaseSA)
+		n.eng.Run(R, n.phaseST)
+		n.gate.stepped++
+		n.cycle++
+		return
+	}
+	n.activeList = n.gate.due(n.cycle)
+	n.gate.stepped++
+	n.gate.activeSum += uint64(len(n.activeList))
+	if k := len(n.activeList); k > 0 {
+		// Shape the sweep to the active-set size: with few routers the
+		// per-pass dispatch dominates, so fuse; near full occupancy the
+		// phase-major order wins (one phase's code and branch history
+		// stay hot across the whole list), and a full set drops the
+		// active-list indirection entirely. All three shapes are
+		// bit-identical and k is deterministic, so the choice is free.
+		switch {
+		case 2*k < len(n.routers):
+			n.eng.Run(k, n.fusedFn)
+		case k == len(n.routers):
+			n.eng.Run(k, n.directFns[0])
+			n.eng.Run(k, n.directFns[1])
+			n.eng.Run(k, n.directFns[2])
+			n.eng.Run(k, n.directFns[3])
+			n.eng.Run(k, n.directFns[4])
+		default:
+			n.eng.Run(k, n.phaseFns[0])
+			n.eng.Run(k, n.phaseFns[1])
+			n.eng.Run(k, n.phaseFns[2])
+			n.eng.Run(k, n.phaseFns[3])
+			n.eng.Run(k, n.phaseFns[4])
+		}
+		n.wakePass()
+	}
 	n.cycle++
 }
 
-// Run simulates the given number of cycles.
-func (n *Network) Run(cycles int) {
-	for i := 0; i < cycles; i++ {
+// wakePass runs sequentially after the five phases and converts this
+// cycle's sends and the active routers' residual state into future
+// wakes. It reads only freshly written per-cycle scratch (saGrant) and
+// persistent state, and is the single writer of the wake structures.
+func (n *Network) wakePass() {
+	now := n.cycle
+	V := n.cfg.TotalVCs()
+	lp := n.topo.LocalPorts()
+	ports := n.topo.Ports()
+	linkLat := sim.Cycle(n.cfg.LinkLatency)
+	credLat := sim.Cycle(n.cfg.CreditLatency)
+	for _, r32 := range n.activeList {
+		r := int(r32)
+		rt := &n.routers[r]
+		// Every switch traversal this cycle produced up to two future
+		// events: a flit arriving at the downstream router and a credit
+		// arriving at the freed input slot's upstream consumer (the
+		// neighbour across the input port, or this router's own NI
+		// credit ring for a local port).
+		for p := 0; p < ports; p++ {
+			g := rt.saGrant[p]
+			if g < 0 {
+				continue
+			}
+			if p >= lp {
+				n.gate.wakeAt(n.nbrOf[r*ports+p], now+linkLat, now)
+			}
+			if ip := int(g) / V; ip >= lp {
+				n.gate.wakeAt(n.nbrOf[r*ports+ip], now+credLat, now)
+			} else {
+				n.gate.wakeAt(r32, now+credLat, now)
+			}
+		}
+		// A router whose local state can still make progress re-arms
+		// for the next cycle: buffered or mid-allocation input VCs
+		// retry RC/VA/SA, and a serializing or eligible NI retries
+		// injection. Conservative (a blocked VC spins), but spinning is
+		// exactly what the exhaustive sweep does, so state matches. The
+		// occ counter stands in for a walk over the input VCs.
+		busy := rt.occ > 0
+		if !busy {
+			for p := 0; p < lp && !busy; p++ {
+				ni := &n.ifaces[n.topo.TerminalAt(r, p)]
+				if ni.cur != nil {
+					busy = true
+					break
+				}
+				for v := range ni.queues {
+					if ni.qHead[v] >= len(ni.queues[v]) {
+						continue
+					}
+					if at := ni.queues[v][ni.qHead[v]].CreatedAt; at > now+1 {
+						n.gate.wake(r32, at, now)
+					} else {
+						busy = true
+						break
+					}
+				}
+			}
+		}
+		if busy {
+			n.gate.markNext(r32)
+		}
+	}
+}
+
+// NextEventCycle reports the earliest cycle at or after the current
+// one at which any router must run, and false when nothing is pending
+// anywhere in the network. With gating disabled every cycle is an
+// event.
+func (n *Network) NextEventCycle() (sim.Cycle, bool) {
+	if n.gate.disabled {
+		return n.cycle, true
+	}
+	return n.gate.next(n.cycle)
+}
+
+// AdvanceTo simulates through the end of cycle c-1, fast-forwarding
+// over spans with an empty active set instead of sweeping them. The
+// clock never jumps past c or past any scheduled event (injections
+// included), so AdvanceTo is bit-identical to calling Step c-Cycle()
+// times.
+func (n *Network) AdvanceTo(c sim.Cycle) {
+	for n.cycle < c {
+		next, ok := n.NextEventCycle()
+		if !ok || next >= c {
+			n.gate.skipped += uint64(c - n.cycle)
+			n.cycle = c
+			return
+		}
+		if next > n.cycle {
+			n.gate.skipped += uint64(next - n.cycle)
+			n.cycle = next
+		}
 		n.Step()
 	}
+}
+
+// ActivityStats reports the gating layer's work accounting.
+func (n *Network) ActivityStats() ActivityStats {
+	return ActivityStats{
+		Stepped:    n.gate.stepped,
+		Skipped:    n.gate.skipped,
+		ActiveSum:  n.gate.activeSum,
+		Routers:    len(n.routers),
+		PoolHits:   n.pool.hits,
+		PoolMisses: n.pool.misses,
+	}
+}
+
+// rebuildWake reconstructs the wake schedule from restored state: wake
+// every router once (idle ones no-op and retire after one sweep) and
+// re-arm a wake for every flit or credit already in flight on a link
+// ring, addressed to its consumer at its arrival cycle. NI injection
+// queues need no scan: every router runs the first post-restore cycle,
+// and its wake pass re-arms future injections.
+func (n *Network) rebuildWake() {
+	n.gate.reset(len(n.routers))
+	if n.gate.disabled {
+		return
+	}
+	now := n.cycle
+	for r := range n.links {
+		for p, lnk := range n.links[r] {
+			if lnk == nil {
+				continue
+			}
+			// Flits on r's inbound link are consumed by r's ingress;
+			// credits on the same object return to the neighbour across
+			// the port.
+			for s := range lnk.flits {
+				if lnk.flits[s].pkt != nil {
+					n.gate.wake(int32(r), ringArrival(now, s, len(lnk.flits)), now)
+				}
+			}
+			nb, _, _ := n.topo.Link(r, p)
+			for s := range lnk.credits {
+				if lnk.credits[s] != -1 {
+					n.gate.wake(int32(nb), ringArrival(now, s, len(lnk.credits)), now)
+				}
+			}
+		}
+	}
+	for t := range n.ifaces {
+		ni := &n.ifaces[t]
+		r, _ := n.topo.RouterOf(t)
+		for s := range ni.creditRing.credits {
+			if ni.creditRing.credits[s] != -1 {
+				n.gate.wake(int32(r), ringArrival(now, s, len(ni.creditRing.credits)), now)
+			}
+		}
+	}
+}
+
+// ringArrival maps an occupied ring slot back to the unique upcoming
+// cycle (in [now, now+size)) it is addressed to.
+func ringArrival(now sim.Cycle, slot, size int) sim.Cycle {
+	return now + sim.Cycle((slot-int(now%sim.Cycle(size))+size)%size)
+}
+
+// Run simulates the given number of cycles, fast-forwarding idle
+// spans.
+func (n *Network) Run(cycles int) {
+	n.AdvanceTo(n.cycle + sim.Cycle(cycles))
 }
 
 // Drain returns all packets delivered at or before the current cycle

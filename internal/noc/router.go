@@ -55,7 +55,14 @@ type router struct {
 	saGrant   []int32 // per output port: granted input VC, or -1
 
 	vaScratch []vaReq  // reused each VA phase
+	vaIndex   []int32  // per input VC: slot in vaScratch this cycle
 	outFlits  []uint64 // per output port: flits traversed (utilization)
+
+	// occ counts input VCs that are non-idle or non-empty — the wake
+	// pass's busy predicate as a single load instead of an input-VC
+	// walk. Maintained at the push site (ingress, NI inject) and the
+	// release site (ST tail pop); derived state, rebuilt on restore.
+	occ int32
 
 	// Energy event counters (see Network.Energy).
 	bufWrites uint64
@@ -73,6 +80,7 @@ func newRouter(ports, vcs, bufDepth int) router {
 		saReq:     make([]int32, ports),
 		saReqPort: make([]int32, ports),
 		saGrant:   make([]int32, ports),
+		vaIndex:   make([]int32, ports*vcs),
 		outFlits:  make([]uint64, ports),
 	}
 	for i := range rt.in {
@@ -82,6 +90,40 @@ func newRouter(ports, vcs, bufDepth int) router {
 		rt.out[i].owner = -1
 	}
 	return rt
+}
+
+// stepRouter runs all five phases for router r in order. Fusing is
+// bit-identical to the five barrier-separated sweeps because every
+// cross-router hand-off goes through a cycle-indexed ring slot
+// addressed at least one cycle ahead: nothing a phase reads this
+// cycle was written by any router this cycle. The gated Step uses
+// this as its engine pass for small active sets.
+//
+// A router with no occupied input VC after ingress — woken only to
+// consume a credit, say — cannot route, allocate, bid, or traverse:
+// RC/VA/SA/ST are byte-level no-ops, so the gated sweeps skip them.
+// Only the switch-allocation scratch needs care: clearGrants rewrites
+// what phaseSA would have, so the wake pass and the next traversal
+// never read a stale grant.
+func (n *Network) stepRouter(r int) {
+	n.phaseIngress(r)
+	rt := &n.routers[r]
+	if rt.occ == 0 {
+		clearGrants(rt)
+		return
+	}
+	n.phaseRC(r)
+	n.phaseVA(r)
+	n.phaseSA(r)
+	n.phaseST(r)
+}
+
+// clearGrants resets the per-cycle switch-allocation output exactly as
+// an all-idle phaseSA pass would.
+func clearGrants(rt *router) {
+	for p := range rt.saGrant {
+		rt.saGrant[p] = -1
+	}
 }
 
 // phaseIngress ingests link flit arrivals, link credit returns, NI
@@ -96,18 +138,22 @@ func (n *Network) phaseIngress(r int) {
 	for p := lp; p < ports; p++ {
 		if lnk := n.links[r][p]; lnk != nil {
 			if f, ok := lnk.recvFlit(now); ok {
-				rt.in[p*V+int(f.vc)].buf.push(flitEntry{
+				ivc := &rt.in[p*V+int(f.vc)]
+				ivc.buf.push(flitEntry{
 					pkt:   f.pkt,
 					seq:   f.seq,
 					ready: now + sim.Cycle(n.cfg.RouterStages-1),
 				})
+				if ivc.state == vcIdle && ivc.buf.len() == 1 {
+					rt.occ++
+				}
 				rt.bufWrites++
 			}
 		}
 		// Credits for output port p return on the downstream router's
 		// inbound link object.
-		if nb, nbp, ok := n.topo.Link(r, p); ok {
-			if vc, got := n.links[nb][nbp].recvCredit(now); got {
+		if xl := n.xLink[r*ports+p]; xl != nil {
+			if vc, got := xl.recvCredit(now); got {
 				ov := &rt.out[p*V+int(vc)]
 				ov.credits++
 				if int(ov.credits) > n.cfg.BufDepth {
@@ -147,7 +193,7 @@ func (n *Network) phaseRC(r int) {
 		}
 		dstRouter, dstPort := n.topo.RouterOf(e.pkt.Dst)
 		if dstRouter == r {
-			ivc.choices = append(ivc.choices[:0], topology.Choice{Port: dstPort})
+			ivc.choices = append(ivc.choices[:0], topology.Choice{Port: dstPort}) //simlint:allow alloc refills the per-VC choices scratch, capacity one after first use
 		} else {
 			V := n.cfg.TotalVCs()
 			curSet := (i % V % n.cfg.VCsPerVNet) / n.vcsPerSet
@@ -188,7 +234,8 @@ func (n *Network) phaseVA(r int) {
 			continue // no free VC on any admissible hop; retry next cycle
 		}
 		ch := ivc.choices[best]
-		reqs = append(reqs, vaReq{ivc: int32(i), port: int16(ch.Port), set: int8(ch.VCSet), vnet: int8(vnet)})
+		rt.vaIndex[i] = int32(len(reqs))
+		reqs = append(reqs, vaReq{ivc: int32(i), port: int16(ch.Port), set: int8(ch.VCSet), vnet: int8(vnet)}) //simlint:allow alloc refills vaScratch, bounded by the router's input-VC count
 	}
 	rt.vaScratch = reqs[:0] // keep capacity
 
@@ -202,10 +249,14 @@ func (n *Network) phaseVA(r int) {
 		base := rt.vaPtr[p]
 		for off := int32(0); off < int32(len(rt.in)); off++ {
 			id := (base + off) % int32(len(rt.in))
-			req, ok := findReq(reqs, id, int16(p))
-			if !ok {
+			// vaIndex needs no per-cycle reset: a stale slot can only
+			// pass the ivc check if reqs[j] is id's own request, and in
+			// that case the fill above just overwrote vaIndex[id].
+			j := rt.vaIndex[id]
+			if int(j) >= len(reqs) || reqs[j].ivc != id || reqs[j].port != int16(p) {
 				continue
 			}
+			req := reqs[j]
 			vc, found := n.freeVCInRange(rt, p, int(req.vnet), int(req.set))
 			if !found {
 				continue
@@ -222,15 +273,6 @@ func (n *Network) phaseVA(r int) {
 			}
 		}
 	}
-}
-
-func findReq(reqs []vaReq, ivc int32, port int16) (vaReq, bool) {
-	for _, rq := range reqs {
-		if rq.ivc == ivc && rq.port == port {
-			return rq, true
-		}
-	}
-	return vaReq{}, false
 }
 
 // vcRangeAvail reports how many VCs are free (unowned) and the total
@@ -341,14 +383,14 @@ func (n *Network) phaseST(r int) {
 			if e.tail() {
 				ni := &n.ifaces[n.topo.TerminalAt(r, p)]
 				e.pkt.DeliveredAt = now + sim.Cycle(n.cfg.LinkLatency)
-				ni.deliveries = append(ni.deliveries, e.pkt)
+				ni.deliveries = append(ni.deliveries, e.pkt) //simlint:allow alloc delivery buffer is host-drained each quantum and keeps its capacity
 			}
 		} else {
-			nb, nbp, ok := n.topo.Link(r, p)
-			if !ok {
+			xl := n.xLink[r*ports+p]
+			if xl == nil {
 				panic(fmt.Sprintf("noc: ST to unconnected port %d on router %d", p, r))
 			}
-			n.links[nb][nbp].sendFlit(now, n.cfg.LinkLatency, linkFlit{pkt: e.pkt, seq: e.seq, vc: ivc.outVC})
+			xl.sendFlit(now, n.cfg.LinkLatency, linkFlit{pkt: e.pkt, seq: e.seq, vc: ivc.outVC})
 			ov := &rt.out[p*V+int(ivc.outVC)]
 			ov.credits--
 			if ov.credits < 0 {
@@ -369,6 +411,9 @@ func (n *Network) phaseST(r int) {
 		if e.tail() {
 			rt.out[p*V+int(ivc.outVC)].owner = -1
 			ivc.state = vcIdle
+			if ivc.buf.len() == 0 {
+				rt.occ--
+			}
 		}
 	}
 }

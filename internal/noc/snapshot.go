@@ -441,6 +441,14 @@ func (n *Network) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, tra
 			ivc.outPort = int16(d.I64())
 			ivc.outVC = int16(d.I64())
 		}
+		// occ is derived, not serialized: recount it from the restored
+		// input VCs.
+		rt.occ = 0
+		for i := range rt.in {
+			if rt.in[i].state != vcIdle || rt.in[i].buf.len() != 0 {
+				rt.occ++
+			}
+		}
 		for i := range rt.out {
 			rt.out[i].credits = int32(d.I64())
 			rt.out[i].owner = int32(d.I64())
@@ -495,6 +503,11 @@ func (n *Network) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, tra
 		}
 	}
 	n.drainBuf = n.drainBuf[:0]
+	if d.Err() == nil {
+		// Wake state is derived, not serialized: wake everything once
+		// and re-arm in-flight link/credit arrivals from the rings.
+		n.rebuildWake()
+	}
 	return d.Err()
 }
 
@@ -696,5 +709,11 @@ func (n *Deflection) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, 
 		}
 	}
 	n.drainBuf = n.drainBuf[:0]
+	if d.Err() == nil {
+		// Wake state is derived: the staging slots are empty between
+		// steps, so conservatively waking every router suffices (the
+		// first wake pass re-arms queued future injections).
+		n.gate.reset(len(n.routers))
+	}
 	return d.Err()
 }

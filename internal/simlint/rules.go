@@ -90,7 +90,7 @@ func parseDirectives(fset *token.FileSet, f *ast.File, out *[]Finding) *allowSet
 			}
 			if len(fields) < 2 || !knownRules[fields[1]] {
 				*out = append(*out, Finding{Pos: pos, Rule: RuleDirective,
-					Msg: fmt.Sprintf("//simlint:%s needs a known rule (wallclock, output, maprange, concurrency)", verb)})
+					Msg: fmt.Sprintf("//simlint:%s needs a known rule (wallclock, output, maprange, concurrency, alloc)", verb)})
 				continue
 			}
 			if len(fields) < 3 {
@@ -112,6 +112,21 @@ func parseDirectives(fset *token.FileSet, f *ast.File, out *[]Finding) *allowSet
 		}
 	}
 	return a
+}
+
+// hotPathFunc reports whether a function name is one of the per-cycle
+// hot paths under the zero-alloc steady-state contract: the router
+// pipeline phases, the per-cycle Step/Tick entry points, and the
+// deflection router's per-cycle workers.
+func hotPathFunc(name string) bool {
+	if strings.HasPrefix(name, "phase") {
+		return true
+	}
+	switch name {
+	case "Step", "Tick", "stepRouter", "swapRouter":
+		return true
+	}
+	return false
 }
 
 // lintFile applies every applicable rule to one file. det selects the
@@ -160,6 +175,29 @@ func lintFile(fset *token.FileSet, p *pkgInfo, f *ast.File, det, inInternal bool
 			return tv.Type
 		}
 		return nil
+	}
+
+	if det {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotPathFunc(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// id.Obj == nil keeps locals that shadow the builtins out.
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Obj == nil &&
+					(id.Name == "make" || id.Name == "append") {
+					report(call, RuleAlloc, fmt.Sprintf(
+						"%s in per-cycle hot path %s can allocate in steady state; refill a preallocated scratch buffer and annotate the capacity argument",
+						id.Name, fd.Name.Name))
+				}
+				return true
+			})
+		}
 	}
 
 	ast.Inspect(f, func(n ast.Node) bool {

@@ -7,7 +7,7 @@
 // randomness, Go map iteration order, and ad-hoc concurrency are the
 // ways that contract silently breaks.
 //
-// Four rules are enforced:
+// Five rules are enforced:
 //
 //   - wallclock (whole module): no calls to time.Now, time.Since, and
 //     the other wall-clock/timer entry points, and no import of
@@ -31,6 +31,14 @@
 //     channel operations, or selects. Parallelism is introduced
 //     deliberately, behind an engine whose determinism is tested, not
 //     ambiently.
+//
+//   - alloc (deterministic packages): no make/append inside the
+//     per-cycle hot paths (methods named phase*, Step, Tick,
+//     stepRouter, swapRouter). The activity-gated simulator promises a
+//     zero-alloc steady state (BenchmarkStepIdleMesh under -benchmem);
+//     a make in a phase method silently re-allocates every cycle, and
+//     an append is legal only when it refills a preallocated scratch
+//     buffer — which is exactly the argument the annotation records.
 //
 // A finding is suppressed by a directive comment on the same line or
 // the line directly above:
@@ -67,6 +75,7 @@ const (
 	RuleOutput      = "output"
 	RuleMapRange    = "maprange"
 	RuleConcurrency = "concurrency"
+	RuleAlloc       = "alloc"
 	// RuleDirective reports malformed //simlint: directives. It cannot
 	// be suppressed.
 	RuleDirective = "directive"
@@ -77,6 +86,7 @@ var knownRules = map[string]bool{
 	RuleOutput:      true,
 	RuleMapRange:    true,
 	RuleConcurrency: true,
+	RuleAlloc:       true,
 }
 
 // Finding is one rule violation at a source position.

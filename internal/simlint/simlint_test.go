@@ -51,6 +51,10 @@ func TestFixtureFindings(t *testing.T) {
 		"det/det.go:48:concurrency", // receive
 		"det/det.go:49:concurrency", // close
 		"det/det.go:50:concurrency", // select
+		// alloc: make and bare append inside a hot-path method fire; the
+		// annotated scratch refill and the cold helper stay silent.
+		"det/det.go:68:alloc",
+		"det/det.go:69:alloc",
 		// output: global-stream prints in an internal/ package fire,
 		// including through a renamed log import; the annotated print,
 		// the writer-explicit Fprintf, and the shadowing local value

@@ -61,3 +61,23 @@ func AllowedConcurrency() int {
 	v := <-ch
 	return v
 }
+
+// Step is a per-cycle hot path under the alloc rule: both the make and
+// the bare append fire.
+func (c counts) Step() []int {
+	buf := make([]int, 0, 4)
+	buf = append(buf, 1)
+	return buf
+}
+
+// phaseAllowed refills caller-owned scratch, with the steady-state
+// argument recorded in the annotation.
+func phaseAllowed(scratch []int) []int {
+	scratch = append(scratch[:0], 1) //simlint:allow alloc fixture: refills caller-owned scratch
+	return scratch
+}
+
+// Cold is not a hot path; its allocations stay silent.
+func Cold() []int {
+	return append(make([]int, 0, 1), 2)
+}

@@ -46,8 +46,10 @@ const Magic = "RECOSNAP"
 //
 // History: 1 — initial format; 2 — component-registry layout (memory
 // oracles snapshotted per tile, calibration pairs via calib.Reciprocal
-// sections); 3 — deflection routers carry an ejection counter.
-const FormatVersion uint32 = 3
+// sections); 3 — deflection routers carry an ejection counter; 4 — the
+// GPU backend no longer serializes its kernel-launch counters (they
+// became gating-dependent host-cost telemetry, not simulated state).
+const FormatVersion uint32 = 4
 
 const (
 	headerLen  = len(Magic) + 4 + 8 // magic + version + config digest

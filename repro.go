@@ -111,6 +111,12 @@ type Config struct {
 	Device gpu.Device
 	// HybridPeriod and HybridSample schedule hybrid mode in cycles.
 	HybridPeriod, HybridSample int
+	// DisableGating forces the exhaustive every-router-every-cycle NoC
+	// sweep in all detailed modes (cmd/cosim -no-fastforward), fanning
+	// out to Router.DisableGating and Deflect.DisableGating. Simulated
+	// results are bit-identical either way; this exists so perf
+	// regressions can be bisected against the exhaustive sweep.
+	DisableGating bool
 }
 
 // DefaultConfig returns the evaluation's baseline target machine for
@@ -186,6 +192,9 @@ func BuildNoC(cfg Config) (*noc.Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.DisableGating {
+		cfg.Router.DisableGating = true
+	}
 	return noc.New(cfg.Router, topo, routing)
 }
 
@@ -194,6 +203,10 @@ func BuildBackend(cfg Config, mode Mode) (core.Backend, error) {
 	topo, routing, err := BuildTopology(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.DisableGating {
+		cfg.Router.DisableGating = true
+		cfg.Deflect.DisableGating = true
 	}
 	switch mode {
 	case ModeSynchronous, ModeReciprocal:

@@ -16,6 +16,13 @@ import (
 // co-simulation built from a different configuration fails with
 // snapshot.ErrConfigMismatch instead of resuming a subtly wrong run.
 func ConfigDigest(cfg Config, mode Mode, workloadDesc string) uint64 {
+	// Activity gating changes simulator effort, never simulated state
+	// (asserted by the gating bit-identity tests), so a checkpoint
+	// taken with gating on must restore into a -no-fastforward run and
+	// vice versa: the escape-hatch flags are excluded from the digest.
+	cfg.DisableGating = false
+	cfg.Router.DisableGating = false
+	cfg.Deflect.DisableGating = false
 	return snapshot.Digest("repro-ckpt", string(mode), workloadDesc, fmt.Sprintf("%+v", cfg))
 }
 
