@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race simcheck premerge bench benchdiff
+.PHONY: all build test vet lint race simcheck premerge bench benchdiff fuzz-smoke
 
 all: build test
 
@@ -18,6 +18,13 @@ vet:
 # contract"). Stdlib-only, so this needs nothing beyond the toolchain.
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+# A short coverage-guided run of the checkpoint-envelope fuzzer over
+# the committed seed corpus (internal/snapshot/testdata/fuzz), so CI
+# exercises real sealed/corrupted/truncated envelopes, not just the
+# in-code f.Add seeds.
+fuzz-smoke:
+	$(GO) test ./internal/snapshot -run '^$$' -fuzz '^FuzzDecoder$$' -fuzztime 10s
 
 # Dynamic pre-merge gates: the race detector across the whole module,
 # and the simcheck build, which arms sim.Assert and the event-queue

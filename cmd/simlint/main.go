@@ -4,16 +4,29 @@
 //
 // Usage:
 //
-//	simlint [module-root]
+//	simlint [flags] [module-root]
 //
 // The argument is the module root directory (default "."); the go-tool
 // style "./..." spelling is accepted and means the same thing, so
-// `simlint ./...` works from a Makefile. Exit status is 1 when any
-// finding is reported.
+// `simlint ./...` works from a Makefile.
 //
-// See internal/simlint for the rules and the //simlint:allow directive
-// syntax, and the "Determinism contract" section of DESIGN.md for why
-// they exist.
+// Flags:
+//
+//	-json
+//		write findings as a JSON array on stdout (stable field
+//		order), the format CI archives and diff tools consume
+//	-baseline file
+//		suppress findings accepted by a baseline file previously
+//		written with -write-baseline; new findings still fail
+//	-write-baseline file
+//		write the current findings to a baseline file and exit 0
+//
+// Exit status is 0 when clean (or all findings are baselined), 1 when
+// any new finding is reported, and 2 when the module cannot be loaded.
+//
+// See internal/simlint for the rules and the //simlint:allow and
+// //simlint:derived directive syntax, and the "Determinism contract"
+// section of DESIGN.md for why they exist.
 package main
 
 import (
@@ -26,8 +39,11 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "write findings as JSON on stdout")
+	baselinePath := flag.String("baseline", "", "suppress findings accepted by this baseline `file`")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline `file` and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [module-root]\n")
+		fmt.Fprintf(os.Stderr, "usage: simlint [flags] [module-root]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,11 +65,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *writeBaseline != "" {
+		if err := simlint.WriteBaseline(*writeBaseline, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+
+	suppressed := 0
+	if *baselinePath != "" {
+		base, err := simlint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		findings, suppressed = base.Filter(findings)
+	}
+
+	if *jsonOut {
+		if err := simlint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)", len(findings))
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, " (%d baselined)", suppressed)
+		}
+		fmt.Fprintln(os.Stderr)
 		os.Exit(1)
 	}
 }

@@ -60,8 +60,8 @@ type Model interface {
 // delay, plus serialization, with no contention term. This is the
 // most abstract model the paper's baseline corresponds to.
 type Fixed struct {
-	topo topology.Topology
-	p    Params
+	topo topology.Topology //simlint:derived construction input; the model is stateless over it
+	p    Params            //simlint:derived construction input; the model is stateless over it
 }
 
 // NewFixed returns a zero-load latency model over topo.
@@ -83,12 +83,12 @@ func (f *Fixed) AdvanceTo(now sim.Cycle) {}
 // maintains a windowed utilization EWMA, and charges each hop an
 // M/M/1-style delay q(u) = QueueFactor * u / (1 - u).
 type Contention struct {
-	topo  *gridPather
-	p     Params
-	acc   []float64 // flits offered this window, per directed link
-	util  []float64 // EWMA utilization per directed link
-	start sim.Cycle // current window start
-	path  []int     // scratch
+	topo  *gridPather //simlint:derived construction input; rebuilt from the topology
+	p     Params      //simlint:derived construction input; the restore target is built with the same params
+	acc   []float64   // flits offered this window, per directed link
+	util  []float64   // EWMA utilization per directed link
+	start sim.Cycle   // current window start
+	path  []int       //simlint:derived per-call scratch, recomputed for every routed packet
 }
 
 // NewContention returns a contention-aware model. The topology must be

@@ -24,7 +24,7 @@ type Network struct {
 	injected  uint64
 	delivered uint64
 	nextID    uint64
-	drainBuf  []*noc.Packet
+	drainBuf  []*noc.Packet //simlint:derived drain scratch, cleared on restore before reuse
 }
 
 // NewNetwork returns an abstract backend over the given model.

@@ -20,7 +20,7 @@ import "repro/internal/sim"
 type Affine struct {
 	alpha, beta float64
 	pred, obs   []float64
-	maxWindow   int
+	maxWindow   int //simlint:derived construction-time capacity; restore validates the window against it
 }
 
 // NewAffine returns an identity correction with a sliding observation
@@ -95,13 +95,13 @@ func (a *Affine) Window() int { return a.maxWindow }
 // sides (a packet pointer for the network, a shadow-request id for
 // the memory oracle).
 type Reciprocal[Req comparable] struct {
-	fit      *Affine
-	period   sim.Cycle
+	fit      *Affine   //simlint:derived shared fit owned and snapshotted by the abstract twin
+	period   sim.Cycle //simlint:derived construction input; the restore target is built with the same period
 	preds    map[Req]float64
 	lastTune sim.Cycle
 	// sink observes retunes (telemetry.go); it is not simulated state
 	// and is not snapshotted.
-	sink RetuneSink
+	sink RetuneSink //simlint:derived observer hook re-attached per run, never simulated state
 }
 
 // NewReciprocal returns a pairing over the shared fit with the given

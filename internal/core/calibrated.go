@@ -21,11 +21,11 @@ import (
 // to in-vacuum component evaluation.
 type Calibrated struct {
 	detailed Backend
-	model    *abstractnet.Tuned
+	model    *abstractnet.Tuned //simlint:derived wiring handle; the tuned model's state is snapshotted through timing
 	timing   *abstractnet.Network
 
 	// RetunePeriod is how often (in cycles) the model refits.
-	RetunePeriod sim.Cycle
+	RetunePeriod sim.Cycle //simlint:derived run-description config, covered by the snapshot config digest
 
 	// pair is the calibration feed between the two fidelities: shadow
 	// packets carry the model prediction in, the detailed network's

@@ -21,13 +21,13 @@ type Cosim struct {
 	Net Backend
 	// Quantum is the synchronization interval in cycles (1 = fully
 	// synchronous ground truth).
-	Quantum int
+	Quantum int //simlint:derived run-description config, covered by the snapshot config digest
 
 	// WatchdogQuanta aborts Run when no core retires an operation for
 	// this many consecutive quanta (0 disables the watchdog). It turns
 	// protocol or coupling deadlocks into diagnosable errors instead
 	// of silent cycle-limit exhaustion.
-	WatchdogQuanta int
+	WatchdogQuanta int //simlint:derived host-side abort policy, not simulated state
 
 	// Stepper advances the registered components at each quantum
 	// boundary. nil (or engine.Sequential) steps them in registry
@@ -36,33 +36,33 @@ type Cosim struct {
 	// completions are applied sequentially in registry order after the
 	// barrier, so both engines are bit-identical (asserted by
 	// determinism tests).
-	Stepper engine.Engine
+	Stepper engine.Engine //simlint:derived execution engine; bit-identical across engines, so never snapshotted
 
 	// Progress, when set, is called after every quantum with the
 	// current cycle — the hook the observability heartbeat (and the
 	// resumable runner's chunking) builds on. It observes only; it must
 	// not mutate simulated state.
-	Progress func(sim.Cycle)
+	Progress func(sim.Cycle) //simlint:derived observer hook re-attached per run, never simulated state
 
 	// comps is the component registry: Net first, then one component
 	// per memory controller oracle, in deterministic controller order.
-	comps    []Component
-	memPorts []fullsys.MemPort
+	comps    []Component       //simlint:derived rebuilt by New from the system's claimed memory ports
+	memPorts []fullsys.MemPort //simlint:derived rebuilt by New from the system's claimed memory ports
 
 	// obsH is the pre-resolved instrumentation state (observe.go); nil
 	// is the uninstrumented fast path — one branch per site.
-	obsH *obsHandles
+	obsH *obsHandles //simlint:derived observer handles re-resolved per run, never simulated state
 
 	// recycler, when the backend implements packetRecycler, receives
 	// every packet back after its delivery is applied.
-	recycler packetRecycler
+	recycler packetRecycler //simlint:derived re-resolved from the backend's capabilities by New
 
 	cycle       sim.Cycle
 	skewSum     uint64
 	skewMax     sim.Cycle
 	delivered   uint64
-	sysWall     time.Duration
-	netWall     time.Duration
+	sysWall     time.Duration //simlint:derived host-cost telemetry, never fed back into simulated state
+	netWall     time.Duration //simlint:derived host-cost telemetry, never fed back into simulated state
 	lastRetired uint64
 	stuckFor    int
 	stalled     bool

@@ -19,18 +19,18 @@ import (
 type Hybrid struct {
 	detailed Backend
 	abstract *abstractnet.Network
-	tuned    *abstractnet.Tuned
+	tuned    *abstractnet.Tuned //simlint:derived wiring handle; the tuned model's state is snapshotted through abstract
 
 	// Period and SampleLen define the sampling schedule in cycles:
 	// cycles with (t % Period) < SampleLen route to the detailed model.
-	Period, SampleLen sim.Cycle
+	Period, SampleLen sim.Cycle //simlint:derived run-description config, covered by the snapshot config digest
 
 	// pair is the calibration feed between the two fidelities: sampled
 	// packets' predictions in, detailed observations out, one refit of
 	// the shared fit per Period.
 	pair     *calib.Reciprocal[*noc.Packet]
 	tracker  *stats.LatencyTracker
-	drainBuf []*noc.Packet
+	drainBuf []*noc.Packet //simlint:derived drain scratch, cleared on restore before reuse
 }
 
 // NewHybrid builds a hybrid backend over a detailed backend and a

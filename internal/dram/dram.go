@@ -92,7 +92,7 @@ type bank struct {
 // Controller is a single-channel memory controller with FR-FCFS
 // scheduling over an open-page row-buffer policy.
 type Controller struct {
-	cfg   Config
+	cfg   Config //simlint:derived construction input; restore validates bank count against it
 	banks []bank
 	queue []*Request
 

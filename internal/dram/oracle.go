@@ -59,7 +59,7 @@ type DetailedOracle struct {
 	ctl   *Controller
 	cycle sim.Cycle
 	buf   []Completion
-	out   []Completion
+	out   []Completion //simlint:derived drain scratch, valid only until the next Drain call
 }
 
 // NewDetailedOracle returns a detailed oracle over a fresh controller.
@@ -159,8 +159,8 @@ func (h *absHeap) Pop() interface{} {
 // model wrapped in Tuned. Completion times are resolved analytically
 // at Enqueue, mirroring abstractnet.Network.
 type AbstractOracle struct {
-	baseLat   float64
-	occupancy sim.Cycle
+	baseLat   float64   //simlint:derived construction input; the restore target is built with the same latency
+	occupancy sim.Cycle //simlint:derived construction input; the restore target is built with the same occupancy
 	fit       *calib.Affine
 
 	nextFree sim.Cycle
@@ -168,7 +168,7 @@ type AbstractOracle struct {
 	seq      uint64
 
 	pending absHeap
-	out     []Completion
+	out     []Completion //simlint:derived drain scratch, valid only until the next Drain call
 
 	reads, writes uint64
 	latency       stats.Running

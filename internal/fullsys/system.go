@@ -19,35 +19,35 @@ type Sender func(m Msg, at sim.Cycle)
 // and the network. Tick must be called for every target cycle in
 // order; Deliver hands network deliveries back.
 type System struct {
-	cfg  Config
+	cfg  Config //simlint:derived construction input; restore validates geometry against it
 	wl   Workload
-	send Sender
+	send Sender //simlint:derived wiring installed at construction, carries no state
 
 	tiles   []*Tile
 	events  sim.TypedQueue[sysEvent]
 	now     sim.Cycle
 	barrier map[uint64]int
-	mcList  []int
-	mcIndex map[int]bool
+	mcList  []int        //simlint:derived recomputed from cfg.MemControllers at construction
+	mcIndex map[int]bool //simlint:derived recomputed from cfg.MemControllers at construction
 
 	// memClaimed marks that a co-simulation coordinator owns
 	// memory-oracle advancement (see ClaimMemory). Until then the
 	// system self-advances its oracles every Tick, so a standalone
-	// System works without a coordinator.
-	memClaimed bool
+	// System works without a coordinator. It records which driver is
+	// attached, not simulated state: a restored system is re-claimed by
+	// whatever coordinator performs the restore.
+	memClaimed bool //simlint:derived re-established by the restoring coordinator, not simulated state
 
 	msgsSent   uint64
 	flitsSent  uint64
 	localMsgs  uint64
 	msgsByType [numMsgTypes]uint64
-	haltedCnt  int
-	doneCycle  sim.Cycle
 
 	// Observability handles (observe.go). nil handles are no-ops, so
 	// the counting sites below stay unconditional; nothing here feeds
 	// simulated state.
-	obsClampMem *obs.Counter
-	obsClampNet *obs.Counter
+	obsClampMem *obs.Counter //simlint:derived observer handle, re-resolved per run; never simulated state
+	obsClampNet *obs.Counter //simlint:derived observer handle, re-resolved per run; never simulated state
 }
 
 // New constructs a system over the given workload. send receives every

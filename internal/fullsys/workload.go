@@ -65,7 +65,7 @@ type Workload interface {
 // and the examples. The zero value is an empty (immediately halting)
 // workload.
 type Script struct {
-	Ops [][]Op
+	Ops [][]Op //simlint:derived construction input; restore validates positions against the same lists
 
 	pos      []int
 	observed [][]uint64

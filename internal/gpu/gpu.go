@@ -113,7 +113,7 @@ func (s Stats) TotalNs() float64 { return s.LaunchNs + s.ComputeNs + s.TransferN
 // accounts the modelled coprocessor time either way.
 type Backend struct {
 	net *noc.Network
-	dev Device
+	dev Device //simlint:derived construction input; the device model is stateless cost accounting
 
 	stats      Stats
 	pendingInj uint64

@@ -23,10 +23,10 @@ import (
 // traversals under load, which is exactly the kind of design choice
 // the co-simulation framework exists to evaluate in system context.
 type Deflection struct {
-	cfg     DeflectConfig
-	topo    gridTopo
-	eng     engine.Engine
-	ownEng  bool
+	cfg     DeflectConfig //simlint:derived construction input; restore validates geometry against it
+	topo    gridTopo      //simlint:derived recomputed from cfg at construction
+	eng     engine.Engine //simlint:derived execution engine; bit-identical across engines, so never snapshotted
+	ownEng  bool          //simlint:derived construction-time ownership flag for Close
 	routers []deflRouter
 	ifaces  []deflIface
 
@@ -35,20 +35,20 @@ type Deflection struct {
 	injected  uint64
 	delivered uint64
 	nextID    uint64
-	drainBuf  []*Packet
+	drainBuf  []*Packet //simlint:derived drain scratch, cleared on restore before reuse
 
 	// Activity gating (active.go): wake schedule, the lists the
 	// pre-bound engine closures index, and the packet free list. All
 	// derived or host-side state, excluded from snapshots.
-	gate       gate
-	activeList []int32
-	swapList   []int32
-	pool       packetPool
-	stepFn     func(i int)
-	swapFn     func(i int)
+	gate       gate        //simlint:derived rebuilt by the gate reset after restore
+	activeList []int32     //simlint:derived per-cycle scratch refilled from the wake schedule
+	swapList   []int32     //simlint:derived per-cycle scratch refilled from the wake schedule
+	pool       packetPool  //simlint:derived host-side free list, never simulated state
+	stepFn     func(i int) //simlint:derived engine closures pre-bound at construction
+	swapFn     func(i int) //simlint:derived engine closures pre-bound at construction
 	// nbrOf[r*4+d] is the router across direction d (-1 when the edge
 	// port has no link); the wake pass walks it every stepped cycle.
-	nbrOf []int32
+	nbrOf []int32 //simlint:derived precomputed from the topology at construction
 }
 
 // DeflectConfig parameterizes the bufferless network.

@@ -21,39 +21,39 @@ const ejectionCredits = 1 << 20
 type Network struct {
 	cfg       Config
 	topo      topology.Topology
-	routing   topology.Routing
-	eng       engine.Engine
-	ownEngine bool
+	routing   topology.Routing //simlint:derived construction input; routing functions are part of the network definition
+	eng       engine.Engine    //simlint:derived execution engine; bit-identical across engines, so never snapshotted
+	ownEngine bool             //simlint:derived construction-time ownership flag for Close
 
 	routers []router
 	links   [][]*link // inbound link per (router, port); nil if none
 	ifaces  []Iface
 
 	cycle     sim.Cycle
-	vcsPerSet int
+	vcsPerSet int //simlint:derived recomputed from cfg at construction
 
 	tracker   *stats.LatencyTracker
 	injected  uint64
 	delivered uint64
 	nextID    uint64
-	drainBuf  []*Packet
+	drainBuf  []*Packet //simlint:derived drain scratch, cleared on restore before reuse
 
 	// Activity gating (active.go): the wake schedule, the active list
 	// the fused sweep indexes this cycle, and the packet free list.
 	// All of it is derived or host-side state, excluded from snapshots.
-	gate       gate
-	activeList []int32
-	pool       packetPool
-	fusedFn    func(i int)
-	phaseFns   [5]func(i int)
-	directFns  [5]func(i int)
+	gate       gate           //simlint:derived rebuilt by rebuildWake after restore
+	activeList []int32        //simlint:derived per-cycle scratch refilled from the wake schedule
+	pool       packetPool     //simlint:derived host-side free list, never simulated state
+	fusedFn    func(i int)    //simlint:derived engine closures pre-bound at construction
+	phaseFns   [5]func(i int) //simlint:derived engine closures pre-bound at construction
+	directFns  [5]func(i int) //simlint:derived engine closures pre-bound at construction
 	// nbrOf[r*ports+p] is the router across port p of r, and
 	// xLink[r*ports+p] that neighbour's inbound link object (where r's
 	// sent flits land and r's output-port credits return); -1/nil when
 	// the port has no link. The per-cycle sweeps must not redo the
 	// topology's coordinate math.
-	nbrOf []int32
-	xLink []*link
+	nbrOf []int32 //simlint:derived precomputed from the topology at construction
+	xLink []*link //simlint:derived precomputed from the topology at construction
 }
 
 // Option configures a Network at construction.

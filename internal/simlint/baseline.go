@@ -1,0 +1,135 @@
+package simlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// jsonFinding is the stable machine-readable spelling of one finding.
+// File is module-root-relative and slash-separated.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// WriteJSON writes findings as an indented JSON array (stable field
+// order, trailing newline), the format consumed by CI and diffable in
+// review.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename,
+			Line: f.Pos.Line,
+			Col:  f.Pos.Column,
+			Rule: f.Rule,
+			Msg:  f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// baselineEntry is one accepted finding class in a baseline file.
+// Line numbers are deliberately omitted: a baseline survives unrelated
+// edits to the same file, and a *new* instance of an accepted class
+// only escapes the baseline once its count grows.
+type baselineEntry struct {
+	File  string `json:"file"`
+	Rule  string `json:"rule"`
+	Msg   string `json:"msg"`
+	Count int    `json:"count"`
+}
+
+// Baseline maps accepted finding classes (file|rule|msg) to how many
+// instances are accepted.
+type Baseline map[string]int
+
+func baselineKey(f Finding) string {
+	return f.Pos.Filename + "|" + f.Rule + "|" + f.Msg
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("simlint: baseline %s: %w", path, err)
+	}
+	b := Baseline{}
+	for _, e := range entries {
+		n := e.Count
+		if n < 1 {
+			n = 1
+		}
+		b[e.File+"|"+e.Rule+"|"+e.Msg] += n
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the findings as a baseline file: sorted,
+// deduplicated with counts, indented JSON.
+func WriteBaseline(path string, findings []Finding) error {
+	counts := Baseline{}
+	for _, f := range findings {
+		counts[baselineKey(f)]++
+	}
+	entries := make([]baselineEntry, 0, len(counts))
+	for _, f := range findings {
+		key := baselineKey(f)
+		if counts[key] == 0 {
+			continue
+		}
+		entries = append(entries, baselineEntry{
+			File:  f.Pos.Filename,
+			Rule:  f.Rule,
+			Msg:   f.Msg,
+			Count: counts[key],
+		})
+		counts[key] = 0
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter removes findings accepted by the baseline, consuming one
+// accepted count per instance, and reports how many were suppressed.
+func (b Baseline) Filter(findings []Finding) (kept []Finding, suppressed int) {
+	remaining := Baseline{}
+	for k, v := range b {
+		remaining[k] = v
+	}
+	for _, f := range findings {
+		key := baselineKey(f)
+		if remaining[key] > 0 {
+			remaining[key]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,81 @@
+package simlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fakeFindings() []Finding {
+	return []Finding{
+		{Pos: token.Position{Filename: "a/x.go", Line: 3, Column: 2}, Rule: RuleWallclock, Msg: "m1"},
+		{Pos: token.Position{Filename: "a/x.go", Line: 9, Column: 4}, Rule: RuleWallclock, Msg: "m1"},
+		{Pos: token.Position{Filename: "b/y.go", Line: 1, Column: 1}, Rule: RuleTaint, Msg: "m2"},
+	}
+}
+
+// TestWriteJSON pins the machine-readable spelling: an array of
+// {file,line,col,rule,msg} objects.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fakeFindings()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("got %d entries, want 3", len(decoded))
+	}
+	first := decoded[0]
+	if first["file"] != "a/x.go" || first["line"] != float64(3) ||
+		first["col"] != float64(2) || first["rule"] != "wallclock" || first["msg"] != "m1" {
+		t.Errorf("unexpected first entry: %v", first)
+	}
+
+	var empty bytes.Buffer
+	if err := WriteJSON(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(empty.String()) != "[]" {
+		t.Errorf("no findings must encode as an empty array, got %q", empty.String())
+	}
+}
+
+// TestBaselineRoundTrip: written baselines load back and suppress
+// exactly the accepted instance counts — a third instance of an
+// accepted class escapes.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, fakeFindings()); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kept, suppressed := base.Filter(fakeFindings())
+	if len(kept) != 0 || suppressed != 3 {
+		t.Errorf("identical findings must all be suppressed, kept %d suppressed %d", len(kept), suppressed)
+	}
+
+	extra := append(fakeFindings(), Finding{
+		Pos: token.Position{Filename: "a/x.go", Line: 40, Column: 1}, Rule: RuleWallclock, Msg: "m1"})
+	kept, suppressed = base.Filter(extra)
+	if suppressed != 3 || len(kept) != 1 {
+		t.Fatalf("count growth must escape the baseline, kept %d suppressed %d", len(kept), suppressed)
+	}
+	if kept[0].Pos.Line != 40 {
+		t.Errorf("the escaping instance should be the extra one (line-free matching is FIFO), got line %d", kept[0].Pos.Line)
+	}
+
+	novel := []Finding{{Pos: token.Position{Filename: "c/z.go", Line: 1}, Rule: RuleStatecov, Msg: "m3"}}
+	if kept, _ := base.Filter(novel); len(kept) != 1 {
+		t.Error("a finding class absent from the baseline must be kept")
+	}
+}

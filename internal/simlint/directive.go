@@ -1,0 +1,123 @@
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// fileDirectives records which rules are suppressed where in one file,
+// and which lines carry a //simlint:derived annotation.
+type fileDirectives struct {
+	byLine  map[int]map[string]bool
+	file    map[string]bool
+	derived map[int]bool
+}
+
+// directiveSet is the module-wide directive table, keyed by the
+// root-relative filename (the same spelling findings use), so a rule
+// can consult annotations in a file other than the one it is currently
+// reporting on — statecov reads field annotations from the struct's
+// declaring file, not the snapshot methods' file.
+type directiveSet struct {
+	files    map[string]*fileDirectives
+	findings []Finding
+}
+
+func (d *directiveSet) allowed(rule string, pos token.Position) bool {
+	fd := d.files[pos.Filename]
+	if fd == nil {
+		return false
+	}
+	if fd.file[rule] {
+		return true
+	}
+	return fd.byLine[pos.Line][rule]
+}
+
+// derivedAt reports whether the field declared at pos carries a
+// //simlint:derived annotation (same line or the line above).
+func (d *directiveSet) derivedAt(pos token.Position) bool {
+	fd := d.files[pos.Filename]
+	return fd != nil && fd.derived[pos.Line]
+}
+
+// collectDirectives scans every file's comments for //simlint:
+// directives during phase one. A line directive suppresses findings on
+// its own line (trailing comment) and on the line directly below
+// (standalone comment above the statement). Malformed directives
+// become findings themselves.
+func (m *Module) collectDirectives() {
+	m.dirs = &directiveSet{files: map[string]*fileDirectives{}}
+	for _, path := range m.sorted {
+		for _, f := range m.pkgs[path].files {
+			m.collectFileDirectives(f)
+		}
+	}
+}
+
+func (m *Module) collectFileDirectives(f *ast.File) {
+	var fd *fileDirectives
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//simlint:")
+			if !ok {
+				continue
+			}
+			pos := m.relPos(c.Pos())
+			if fd == nil {
+				fd = m.dirs.files[pos.Filename]
+				if fd == nil {
+					fd = &fileDirectives{
+						byLine:  map[int]map[string]bool{},
+						file:    map[string]bool{},
+						derived: map[int]bool{},
+					}
+					m.dirs.files[pos.Filename] = fd
+				}
+			}
+			bad := func(format string, args ...interface{}) {
+				m.dirs.findings = append(m.dirs.findings, Finding{
+					Pos: pos, Rule: RuleDirective, Msg: fmt.Sprintf(format, args...)})
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				bad("empty //simlint: directive")
+				continue
+			}
+			verb := fields[0]
+			switch verb {
+			case "allow", "allow-file":
+				if len(fields) < 2 || !knownRules[fields[1]] {
+					bad("//simlint:%s needs a known rule (%s)", verb, knownRuleList())
+					continue
+				}
+				if len(fields) < 3 {
+					bad("//simlint:%s %s needs a reason", verb, fields[1])
+					continue
+				}
+				rule := fields[1]
+				if verb == "allow-file" {
+					fd.file[rule] = true
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if fd.byLine[line] == nil {
+						fd.byLine[line] = map[string]bool{}
+					}
+					fd.byLine[line][rule] = true
+				}
+			case "derived":
+				if len(fields) < 2 {
+					bad("//simlint:derived needs a reason explaining how the field is recomputed on restore")
+					continue
+				}
+				fd.derived[pos.Line] = true
+				fd.derived[pos.Line+1] = true
+			default:
+				bad("unknown directive //simlint:%s (want allow, allow-file, or derived)", verb)
+			}
+		}
+	}
+}

@@ -50,70 +50,6 @@ var outputFuncs = map[string]map[string]bool{
 	},
 }
 
-// allowSet records which rules are suppressed where in one file.
-type allowSet struct {
-	byLine map[int]map[string]bool
-	file   map[string]bool
-}
-
-func (a *allowSet) allowed(rule string, line int) bool {
-	if a.file[rule] {
-		return true
-	}
-	return a.byLine[line][rule]
-}
-
-// parseDirectives scans a file's comments for //simlint: directives.
-// A line directive suppresses findings on its own line (trailing
-// comment) and on the line directly below (standalone comment above
-// the statement). Malformed directives become findings themselves.
-func parseDirectives(fset *token.FileSet, f *ast.File, out *[]Finding) *allowSet {
-	a := &allowSet{byLine: map[int]map[string]bool{}, file: map[string]bool{}}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, "//simlint:")
-			if !ok {
-				continue
-			}
-			pos := fset.Position(c.Pos())
-			fields := strings.Fields(text)
-			if len(fields) == 0 {
-				*out = append(*out, Finding{Pos: pos, Rule: RuleDirective,
-					Msg: "empty //simlint: directive"})
-				continue
-			}
-			verb := fields[0]
-			if verb != "allow" && verb != "allow-file" {
-				*out = append(*out, Finding{Pos: pos, Rule: RuleDirective,
-					Msg: fmt.Sprintf("unknown directive //simlint:%s (want allow or allow-file)", verb)})
-				continue
-			}
-			if len(fields) < 2 || !knownRules[fields[1]] {
-				*out = append(*out, Finding{Pos: pos, Rule: RuleDirective,
-					Msg: fmt.Sprintf("//simlint:%s needs a known rule (wallclock, output, maprange, concurrency, alloc)", verb)})
-				continue
-			}
-			if len(fields) < 3 {
-				*out = append(*out, Finding{Pos: pos, Rule: RuleDirective,
-					Msg: fmt.Sprintf("//simlint:%s %s needs a reason", verb, fields[1])})
-				continue
-			}
-			rule := fields[1]
-			if verb == "allow-file" {
-				a.file[rule] = true
-				continue
-			}
-			for _, line := range []int{pos.Line, pos.Line + 1} {
-				if a.byLine[line] == nil {
-					a.byLine[line] = map[string]bool{}
-				}
-				a.byLine[line][rule] = true
-			}
-		}
-	}
-	return a
-}
-
 // hotPathFunc reports whether a function name is one of the per-cycle
 // hot paths under the zero-alloc steady-state contract: the router
 // pipeline phases, the per-cycle Step/Tick entry points, and the
@@ -129,18 +65,13 @@ func hotPathFunc(name string) bool {
 	return false
 }
 
-// lintFile applies every applicable rule to one file. det selects the
-// full determinism contract, inInternal adds the output rule;
-// otherwise only wallclock applies.
-func lintFile(fset *token.FileSet, p *pkgInfo, f *ast.File, det, inInternal bool) []Finding {
+// lintFile applies every local (single-file) rule to one file. det
+// selects the full determinism contract, inInternal adds the output
+// rule; otherwise only wallclock applies.
+func lintFile(m *Module, p *Package, f *ast.File, det, inInternal bool) []Finding {
 	var out []Finding
-	allows := parseDirectives(fset, f, &out)
 	report := func(n ast.Node, rule, msg string) {
-		pos := fset.Position(n.Pos())
-		if allows.allowed(rule, pos.Line) {
-			return
-		}
-		out = append(out, Finding{Pos: pos, Rule: rule, Msg: msg})
+		m.report(&out, n, rule, msg)
 	}
 
 	// Track the local names of the time, fmt, and log imports (they may

@@ -3,11 +3,25 @@
 // enforces the simulation-purity rules every quantitative claim in the
 // reproduction depends on. The co-simulation experiments compare the
 // same workload under different network abstractions, so the simulator
-// must be bit-for-bit repeatable; wall-clock leakage, unseeded
-// randomness, Go map iteration order, and ad-hoc concurrency are the
-// ways that contract silently breaks.
+// must be bit-for-bit repeatable and its state must survive a
+// checkpoint round trip exactly; wall-clock leakage, unseeded
+// randomness, Go map iteration order, ad-hoc concurrency, and
+// forgotten snapshot fields are the ways those contracts silently
+// break.
 //
-// Five rules are enforced:
+// The analysis runs in two phases. Phase one parses and type-checks
+// every package in the module exactly once (module-local imports are
+// resolved from source, the standard library through the source
+// importer, so the analyzer works offline with nothing but the
+// toolchain) and collects every //simlint: directive. Phase two runs
+// the rules over that shared typed view: the five local rules walk one
+// file at a time, while statecov and taint consume whole-module
+// indexes (the method table and the static call graph) built from the
+// same type information. Rules never re-parse or re-type-check, which
+// is what keeps a seven-rule whole-module pass as cheap as the old
+// five-rule syntactic one.
+//
+// Seven rules are enforced:
 //
 //   - wallclock (whole module): no calls to time.Now, time.Since, and
 //     the other wall-clock/timer entry points, and no import of
@@ -40,6 +54,26 @@
 //     an append is legal only when it refills a preallocated scratch
 //     buffer — which is exactly the argument the annotation records.
 //
+//   - statecov (whole module): for every type with SnapshotTo and
+//     RestoreFrom methods, every struct field of the receiver must be
+//     referenced in *both* method bodies — directly, through sibling
+//     helper methods, or through package-level helpers the receiver is
+//     passed to — or carry a //simlint:derived <reason> annotation on
+//     its declaration. This catches the "added a field, forgot the
+//     encoder" bug class at compile time instead of waiting for a
+//     round-trip test to happen to exercise the field. A type with one
+//     method of the pair but not the other is also a finding.
+//
+//   - taint (deterministic packages): no function may *transitively*
+//     reach time.Now/time.Since (and the other wall-clock entry
+//     points), math/rand, or os.Getenv through helper layers — the
+//     wallclock rule only sees direct calls. The rule builds a static
+//     call graph over the whole module and reports the call edge that
+//     starts each offending chain. A //simlint:allow wallclock
+//     annotation at the sink declares the host-time read harmless and
+//     sanctions its transitive callers; //simlint:allow taint on a
+//     call edge sanctions that edge alone.
+//
 // A finding is suppressed by a directive comment on the same line or
 // the line directly above:
 //
@@ -50,6 +84,12 @@
 //
 //	//simlint:allow-file <rule> <reason>
 //
+// Snapshot-exempt fields use the dedicated form on (or above) the
+// field declaration, which doubles as documentation of why the field
+// is recomputed rather than serialized:
+//
+//	occ int32 //simlint:derived recounted from restored input VCs
+//
 // The reason is mandatory; a directive without one (or naming an
 // unknown rule) is itself reported. Test files (_test.go) are not
 // linted: tests may time out, measure, and range over maps to assert.
@@ -57,15 +97,8 @@ package simlint
 
 import (
 	"fmt"
-	"go/ast"
-	"go/importer"
-	"go/parser"
 	"go/token"
-	"go/types"
-	"os"
-	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -76,20 +109,40 @@ const (
 	RuleMapRange    = "maprange"
 	RuleConcurrency = "concurrency"
 	RuleAlloc       = "alloc"
+	RuleStatecov    = "statecov"
+	RuleTaint       = "taint"
 	// RuleDirective reports malformed //simlint: directives. It cannot
 	// be suppressed.
 	RuleDirective = "directive"
 )
 
+// knownRules is the registry of suppressible rules. The directive
+// parser derives its error message from this map, so the message can
+// never drift from the actual rule set.
 var knownRules = map[string]bool{
 	RuleWallclock:   true,
 	RuleOutput:      true,
 	RuleMapRange:    true,
 	RuleConcurrency: true,
 	RuleAlloc:       true,
+	RuleStatecov:    true,
+	RuleTaint:       true,
 }
 
-// Finding is one rule violation at a source position.
+// knownRuleList returns the suppressible rule names, sorted, for
+// directive diagnostics.
+func knownRuleList() string {
+	names := make([]string, 0, len(knownRules))
+	for r := range knownRules {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// Finding is one rule violation at a source position. Filenames are
+// module-root-relative (slash-separated), so findings are stable
+// across checkouts and usable as baseline keys.
 type Finding struct {
 	Pos  token.Position
 	Rule string
@@ -106,7 +159,8 @@ type Config struct {
 	Root string
 	// Deterministic lists module-relative import-path prefixes (e.g.
 	// "internal/noc") whose packages are under the full determinism
-	// contract (maprange + concurrency in addition to wallclock).
+	// contract (maprange + concurrency + taint in addition to
+	// wallclock).
 	Deterministic []string
 }
 
@@ -135,46 +189,28 @@ func DefaultDeterministic() []string {
 // cannot be loaded; findings (including directive errors) are data,
 // not errors.
 func Run(cfg Config) ([]Finding, error) {
-	root, err := filepath.Abs(cfg.Root)
+	m, err := load(cfg.Root)
 	if err != nil {
-		return nil, err
-	}
-	modPath, err := modulePath(filepath.Join(root, "go.mod"))
-	if err != nil {
-		return nil, err
-	}
-	l := &loader{
-		fset:    token.NewFileSet(),
-		root:    root,
-		modPath: modPath,
-		pkgs:    map[string]*pkgInfo{},
-		loading: map[string]bool{},
-	}
-	l.stdImp = importer.ForCompiler(l.fset, "source", nil)
-	if err := l.walk(); err != nil {
 		return nil, err
 	}
 
-	var findings []Finding
-	paths := make([]string, 0, len(l.pkgs))
-	for p := range l.pkgs {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, path := range paths {
-		p := l.pkgs[path]
-		det := isDeterministic(l.modPath, path, cfg.Deterministic)
-		if det {
-			// maprange and range-over-channel classification need types.
-			l.typeCheck(path)
-		}
-		// The output rule covers every internal/ package, deterministic
-		// or not: simulator internals never print ad hoc.
-		inInternal := strings.HasPrefix(path, l.modPath+"/internal/")
+	// Malformed directives surfaced during phase one.
+	findings := append([]Finding(nil), m.dirs.findings...)
+
+	// Local (per-file) rules.
+	for _, path := range m.sorted {
+		p := m.pkgs[path]
+		det := isDeterministic(m.path, path, cfg.Deterministic)
+		inInternal := strings.HasPrefix(path, m.path+"/internal/")
 		for _, f := range p.files {
-			findings = append(findings, lintFile(l.fset, p, f, det, inInternal)...)
+			findings = append(findings, lintFile(m, p, f, det, inInternal)...)
 		}
 	}
+
+	// Whole-module rules over the shared typed view.
+	findings = append(findings, statecov(m)...)
+	findings = append(findings, taint(m, &cfg)...)
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -183,7 +219,10 @@ func Run(cfg Config) ([]Finding, error) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Rule < findings[j].Rule
 	})
 	return findings, nil
 }
@@ -198,129 +237,4 @@ func isDeterministic(modPath, pkg string, prefixes []string) bool {
 		}
 	}
 	return false
-}
-
-// modulePath extracts the module path from a go.mod file.
-func modulePath(gomod string) (string, error) {
-	data, err := os.ReadFile(gomod)
-	if err != nil {
-		return "", fmt.Errorf("simlint: not a module root: %w", err)
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if rest, ok := strings.CutPrefix(line, "module"); ok {
-			p := strings.TrimSpace(rest)
-			if unq, err := strconv.Unquote(p); err == nil {
-				p = unq
-			}
-			if p != "" {
-				return p, nil
-			}
-		}
-	}
-	return "", fmt.Errorf("simlint: no module line in %s", gomod)
-}
-
-// pkgInfo is one parsed (and possibly type-checked) module package.
-type pkgInfo struct {
-	path  string
-	dir   string
-	files []*ast.File
-	tpkg  *types.Package
-	info  *types.Info
-}
-
-// loader parses every package in the module and type-checks packages
-// on demand. Module-local imports are resolved from source; standard
-// library imports go through the source importer so the analyzer works
-// offline with nothing but the toolchain.
-type loader struct {
-	fset    *token.FileSet
-	root    string
-	modPath string
-	pkgs    map[string]*pkgInfo
-	stdImp  types.Importer
-	loading map[string]bool
-}
-
-// walk parses every non-test .go file in the module, grouped by
-// directory. testdata, vendor, and hidden directories are skipped.
-func (l *loader) walk() error {
-	return filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if path != l.root && (name == "testdata" || name == "vendor" ||
-				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return fmt.Errorf("simlint: parse %s: %w", path, err)
-		}
-		dir := filepath.Dir(path)
-		rel, err := filepath.Rel(l.root, dir)
-		if err != nil {
-			return err
-		}
-		imp := l.modPath
-		if rel != "." {
-			imp = l.modPath + "/" + filepath.ToSlash(rel)
-		}
-		p := l.pkgs[imp]
-		if p == nil {
-			p = &pkgInfo{path: imp, dir: dir}
-			l.pkgs[imp] = p
-		}
-		p.files = append(p.files, f)
-		return nil
-	})
-}
-
-// typeCheck type-checks a module package (once), resolving module
-// imports recursively. Type errors are tolerated: rules fall back to
-// syntax-only behaviour where type information is missing, which can
-// hide a finding but never invents one.
-func (l *loader) typeCheck(path string) *pkgInfo {
-	p := l.pkgs[path]
-	if p == nil || p.tpkg != nil || l.loading[path] {
-		return p
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
-	p.info = &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
-	conf := types.Config{
-		Importer:    l,
-		FakeImportC: true,
-		Error:       func(error) {}, // best effort; see above
-	}
-	p.tpkg, _ = conf.Check(path, l.fset, p.files, p.info)
-	return p
-}
-
-// Import implements types.Importer over module-local source plus the
-// standard library.
-func (l *loader) Import(path string) (*types.Package, error) {
-	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
-		if p := l.typeCheck(path); p != nil && p.tpkg != nil {
-			return p.tpkg, nil
-		}
-		return nil, fmt.Errorf("simlint: cannot load module package %s", path)
-	}
-	pkg, err := l.stdImp.Import(path)
-	if err != nil {
-		// Offline environment without GOROOT sources: degrade to an
-		// empty placeholder so local type-checking can continue.
-		name := path[strings.LastIndex(path, "/")+1:]
-		pkg = types.NewPackage(path, name)
-		pkg.MarkComplete()
-	}
-	return pkg, nil
 }

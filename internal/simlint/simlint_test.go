@@ -67,6 +67,26 @@ func TestFixtureFindings(t *testing.T) {
 		"det/directives.go:8:directive",
 		"det/directives.go:11:directive",
 		"det/directives.go:14:directive",
+		// statecov: a snapshot-only, a restore-only, and a
+		// never-referenced field fire at their declarations, and a type
+		// with only half the method pair fires at the method; the fully
+		// covered type (via cross-file helpers), the derived-annotated
+		// cache, and every other snapshotless type stay silent.
+		"cov/cov.go:67:statecov", // dropped: encoded, never decoded
+		"cov/cov.go:68:statecov", // ghost: decoded, never encoded
+		"cov/cov.go:69:statecov", // lost: in neither method
+		"cov/cov.go:90:statecov", // Half: SnapshotTo without RestoreFrom
+		// taint: a direct env read and every transitive clock path fire
+		// (one, two, and local-relay hops); the allow-taint edge and the
+		// path through the sanctioned sink stay silent.
+		"det/taint.go:15:taint", // os.Getenv directly in det
+		"det/taint.go:18:taint", // host.Stamp → time.Now
+		"det/taint.go:21:taint", // host.Elapsed → host.Stamp → time.Now
+		"det/taint.go:25:taint", // viaLocal's own edge to host.Stamp
+		"det/taint.go:28:taint", // det.viaLocal → host.Stamp → time.Now
+		// the taint fixtures' unannotated host-side sink is still a
+		// wallclock finding (wallclock applies everywhere).
+		"host/clock.go:14:wallclock",
 	}
 	got := runFixture(t)
 	sort.Strings(want)
@@ -90,16 +110,24 @@ func TestHostPackageScope(t *testing.T) {
 }
 
 // TestDefaultDeterministicScope: with the fixture det package NOT
-// listed, only wallclock findings remain.
+// listed, the deterministic-only rules (maprange, concurrency, taint)
+// all go silent; statecov still applies module-wide.
 func TestDefaultDeterministicScope(t *testing.T) {
 	findings, err := Run(Config{Root: filepath.Join("testdata", "mod")})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
+	sawStatecov := false
 	for _, f := range findings {
-		if f.Rule == RuleMapRange || f.Rule == RuleConcurrency {
+		switch f.Rule {
+		case RuleMapRange, RuleConcurrency, RuleTaint:
 			t.Errorf("rule %s fired outside the deterministic set: %s", f.Rule, f)
+		case RuleStatecov:
+			sawStatecov = true
 		}
+	}
+	if !sawStatecov {
+		t.Error("statecov must apply module-wide, not only to deterministic packages")
 	}
 }
 

@@ -1,0 +1,279 @@
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// statecov is the snapshot-coverage rule: for every type with
+// SnapshotTo/RestoreFrom methods, each struct field of the receiver
+// must be referenced in both method bodies — directly, through sibling
+// helper methods called on the receiver, or through package-level
+// helpers the receiver is passed to — or carry a //simlint:derived
+// annotation on its declaration. A type with only one method of the
+// pair is itself a finding: half a round trip is not a round trip.
+//
+// The rule resolves receivers and call targets through go/types, so it
+// never confuses fields with locals and follows helpers across files.
+// Where type information is missing (tolerated type errors), a method
+// body yields no references and the absence is reported — the rule can
+// over-report on broken code but never silently under-covers.
+
+const (
+	snapshotMethod = "SnapshotTo"
+	restoreMethod  = "RestoreFrom"
+)
+
+// covPair collects the snapshot/restore method pair of one named type.
+type covPair struct {
+	tn   *types.TypeName
+	snap *funcRef
+	rest *funcRef
+}
+
+func statecov(m *Module) []Finding {
+	var out []Finding
+
+	// Pair the methods by receiver base type, in declaration order.
+	pairs := map[*types.TypeName]*covPair{}
+	var order []*types.TypeName
+	for _, fr := range m.funcList {
+		name := fr.decl.Name.Name
+		if (name != snapshotMethod && name != restoreMethod) || fr.decl.Recv == nil {
+			continue
+		}
+		tn := receiverTypeName(fr)
+		if tn == nil {
+			continue
+		}
+		p := pairs[tn]
+		if p == nil {
+			p = &covPair{tn: tn}
+			pairs[tn] = p
+			order = append(order, tn)
+		}
+		if name == snapshotMethod {
+			p.snap = fr
+		} else {
+			p.rest = fr
+		}
+	}
+
+	for _, tn := range order {
+		p := pairs[tn]
+		switch {
+		case p.snap == nil:
+			m.report(&out, p.rest.decl.Name, RuleStatecov, fmt.Sprintf(
+				"type %s has %s but no %s; snapshot state must round-trip",
+				tn.Name(), restoreMethod, snapshotMethod))
+			continue
+		case p.rest == nil:
+			m.report(&out, p.snap.decl.Name, RuleStatecov, fmt.Sprintf(
+				"type %s has %s but no %s; snapshot state must round-trip",
+				tn.Name(), snapshotMethod, restoreMethod))
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		snapRefs := fieldRefs(m, p.snap)
+		restRefs := fieldRefs(m, p.rest)
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if field.Name() == "_" {
+				continue
+			}
+			inSnap, inRest := snapRefs[field.Name()], restRefs[field.Name()]
+			if inSnap && inRest {
+				continue
+			}
+			pos := m.relPos(field.Pos())
+			if m.dirs.derivedAt(pos) {
+				continue
+			}
+			var msg string
+			switch {
+			case !inSnap && !inRest:
+				msg = fmt.Sprintf(
+					"field %s.%s is referenced in neither %s nor %s; serialize it or annotate //simlint:derived <how it is recomputed>",
+					tn.Name(), field.Name(), snapshotMethod, restoreMethod)
+			case !inSnap:
+				msg = fmt.Sprintf(
+					"field %s.%s is touched by %s but never written by %s; encode it or annotate //simlint:derived <how it is recomputed>",
+					tn.Name(), field.Name(), restoreMethod, snapshotMethod)
+			default:
+				msg = fmt.Sprintf(
+					"field %s.%s is written by %s but never restored by %s; decode it or annotate //simlint:derived <how it is recomputed>",
+					tn.Name(), field.Name(), snapshotMethod, restoreMethod)
+			}
+			if m.dirs.allowed(RuleStatecov, pos) {
+				continue
+			}
+			out = append(out, Finding{Pos: pos, Rule: RuleStatecov, Msg: msg})
+		}
+	}
+	return out
+}
+
+// receiverTypeName resolves a method's receiver to the defining
+// *types.TypeName (pointers stripped), or nil when type information is
+// unavailable.
+func receiverTypeName(fr *funcRef) *types.TypeName {
+	recv := fr.decl.Recv
+	if recv == nil || len(recv.List) == 0 {
+		return nil
+	}
+	var t types.Type
+	if tv, ok := fr.pkg.info.Types[recv.List[0].Type]; ok {
+		t = tv.Type
+	} else if len(recv.List[0].Names) > 0 {
+		if obj := fr.pkg.info.Defs[recv.List[0].Names[0]]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// fieldRefs returns the set of receiver field names referenced by the
+// method, following sibling helper methods and package-level helper
+// functions the receiver is passed to.
+func fieldRefs(m *Module, fr *funcRef) map[string]bool {
+	w := &covWalker{
+		m:       m,
+		refs:    map[string]bool{},
+		visited: map[*ast.FuncDecl]bool{},
+	}
+	if selfs := receiverObjs(fr); len(selfs) > 0 {
+		w.walk(fr, selfs)
+	}
+	return w.refs
+}
+
+// receiverObjs returns the set holding the method's receiver object
+// (empty for an unnamed receiver, which cannot reference fields).
+func receiverObjs(fr *funcRef) map[types.Object]bool {
+	recv := fr.decl.Recv
+	if recv == nil || len(recv.List) == 0 || len(recv.List[0].Names) == 0 {
+		return nil
+	}
+	obj := fr.pkg.info.Defs[recv.List[0].Names[0]]
+	if obj == nil {
+		return nil
+	}
+	return map[types.Object]bool{obj: true}
+}
+
+// covWalker accumulates field references across the helper-call
+// closure of one snapshot/restore method.
+type covWalker struct {
+	m       *Module
+	refs    map[string]bool
+	visited map[*ast.FuncDecl]bool
+}
+
+func (w *covWalker) walk(fr *funcRef, self map[types.Object]bool) {
+	if fr.decl.Body == nil || w.visited[fr.decl] {
+		return
+	}
+	w.visited[fr.decl] = true
+	info := fr.pkg.info
+	ast.Inspect(fr.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// recv.field (or recv.method — method names cannot collide
+			// with field names, so recording both is harmless).
+			if id, ok := n.X.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && self[obj] {
+					w.refs[n.Sel.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			w.call(fr, n, self)
+		}
+		return true
+	})
+}
+
+// call follows one call expression into helpers that can see the
+// receiver: methods invoked on the receiver itself, and any declared
+// function the receiver is passed to as an argument.
+func (w *covWalker) call(fr *funcRef, call *ast.CallExpr, self map[types.Object]bool) {
+	info := fr.pkg.info
+
+	var callee *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = info.Uses[fun.Sel].(*types.Func)
+		// A method called on the receiver: every field the helper
+		// touches counts for the calling method.
+		if id, ok := fun.X.(*ast.Ident); ok && callee != nil {
+			if obj := info.Uses[id]; obj != nil && self[obj] {
+				if ref := w.m.funcs[callee]; ref != nil {
+					w.walk(ref, receiverObjs(ref))
+				}
+				return
+			}
+		}
+	default:
+		return
+	}
+	if callee == nil {
+		return
+	}
+	ref := w.m.funcs[callee]
+	if ref == nil || ref.decl.Type.Params == nil {
+		return
+	}
+	// The receiver passed as an argument: track it through the
+	// callee's corresponding parameter.
+	params := flattenParams(ref)
+	newSelf := map[types.Object]bool{}
+	for i, arg := range call.Args {
+		if u, ok := arg.(*ast.UnaryExpr); ok {
+			arg = u.X
+		}
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := info.Uses[id]; obj == nil || !self[obj] {
+			continue
+		}
+		if i < len(params) && params[i] != nil {
+			newSelf[params[i]] = true
+		}
+	}
+	if len(newSelf) > 0 {
+		w.walk(ref, newSelf)
+	}
+}
+
+// flattenParams returns the callee's parameter objects in positional
+// order (nil for unnamed parameters).
+func flattenParams(fr *funcRef) []types.Object {
+	var out []types.Object
+	for _, field := range fr.decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, fr.pkg.info.Defs[name])
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package simlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// taint is the interprocedural determinism rule: it builds a static
+// call graph over the whole module and flags functions in
+// deterministic packages that transitively reach a nondeterminism sink
+// — the wall-clock entry points of package time, anything in
+// math/rand, or the host environment via os.Getenv — through helper
+// layers the local wallclock rule cannot see.
+//
+// Annotation semantics compose with the wallclock rule: a
+// //simlint:allow wallclock annotation at the sink call declares the
+// host-time read harmless (never fed back into simulated state), which
+// sanctions every transitive caller; //simlint:allow taint on a call
+// edge sanctions that one edge. Direct time/math-rand calls inside a
+// deterministic package are the wallclock rule's findings, not
+// repeated here; a direct os.Getenv is taint's own.
+//
+// The graph resolves callees through go/types (methods included) and
+// detects sinks syntactically from each file's imports, so sink
+// detection keeps working even when standard-library type information
+// degrades to placeholders. Calls through interface values and stored
+// function values are invisible to a static graph; parallelism and
+// indirection stay behind tested engines precisely so this limitation
+// stays acceptable.
+
+// envSinkFuncs are the os entry points that read the host environment.
+var envSinkFuncs = map[string]bool{
+	"Getenv":    true,
+	"LookupEnv": true,
+	"Environ":   true,
+}
+
+// tEdge is one static call from a function body to a declared module
+// function.
+type tEdge struct {
+	callee *types.Func
+	node   ast.Node
+	pos    token.Position
+}
+
+// tSink is one direct (un-sanctioned) nondeterminism sink call.
+type tSink struct {
+	desc string // e.g. "time.Now"
+	env  bool   // an os environment sink (taint's own finding when direct)
+	node ast.Node
+	pos  token.Position
+}
+
+// tNode is one function in the call graph.
+type tNode struct {
+	fr    *funcRef
+	sinks []tSink
+	edges []tEdge
+}
+
+type taintGraph struct {
+	m       *Module
+	nodes   []*tNode
+	byFn    map[*types.Func]*tNode
+	reaches map[*types.Func]bool
+}
+
+func taint(m *Module, cfg *Config) []Finding {
+	g := &taintGraph{
+		m:       m,
+		byFn:    map[*types.Func]*tNode{},
+		reaches: map[*types.Func]bool{},
+	}
+	for _, fr := range m.funcList {
+		node := &tNode{fr: fr}
+		g.nodes = append(g.nodes, node)
+		if fr.fn != nil {
+			g.byFn[fr.fn] = node
+		}
+		g.scan(node)
+	}
+	g.propagate()
+
+	var out []Finding
+	for _, node := range g.nodes {
+		if !isDeterministic(m.path, node.fr.pkg.path, cfg.Deterministic) {
+			continue
+		}
+		// Direct environment reads are taint's own finding; direct
+		// time/rand calls are already the wallclock rule's.
+		for _, s := range node.sinks {
+			if s.env {
+				m.report(&out, s.node, RuleTaint, fmt.Sprintf(
+					"%s reads the host environment in a deterministic package; thread configuration in explicitly",
+					s.desc))
+			}
+		}
+		for _, e := range node.edges {
+			c := g.reach(e.callee)
+			if c == "" {
+				continue
+			}
+			m.report(&out, e.node, RuleTaint, fmt.Sprintf(
+				"call transitively reaches %s (%s); annotate the sink //simlint:allow wallclock if it is host-side only, or this call //simlint:allow taint, with a reason",
+				lastChainElem(c), c))
+		}
+	}
+	return out
+}
+
+// scan records the sinks and outgoing call edges of one function body.
+func (g *taintGraph) scan(node *tNode) {
+	fr := node.fr
+	if fr.decl.Body == nil {
+		return
+	}
+	info := fr.pkg.info
+	imps := g.m.imports[fr.file]
+	ast.Inspect(fr.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee *types.Func
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee, _ = info.Uses[fun].(*types.Func)
+		case *ast.SelectorExpr:
+			// A package-qualified call may be a sink; resolve the
+			// package from the file's imports so sink detection works
+			// without standard-library type information.
+			if id, ok := fun.X.(*ast.Ident); ok && id.Obj == nil {
+				if path, imported := imps[id.Name]; imported {
+					if s, isSink := g.sinkFor(path, fun.Sel.Name, fun); isSink {
+						node.sinks = append(node.sinks, s)
+						return true
+					}
+				}
+			}
+			callee, _ = info.Uses[fun.Sel].(*types.Func)
+		default:
+			return true
+		}
+		if callee == nil || g.m.funcs[callee] == nil {
+			return true
+		}
+		pos := g.m.relPos(call.Pos())
+		// An allowed edge is sanctioned: it neither reports nor
+		// propagates reachability to callers.
+		if g.m.dirs.allowed(RuleTaint, pos) {
+			return true
+		}
+		node.edges = append(node.edges, tEdge{callee: callee, node: call, pos: pos})
+		return true
+	})
+}
+
+// sinkFor classifies one package-qualified call as a nondeterminism
+// sink, honouring the sanctioning annotations at the call site.
+func (g *taintGraph) sinkFor(path, name string, n ast.Node) (tSink, bool) {
+	pos := g.m.relPos(n.Pos())
+	switch {
+	case path == "time" && wallclockFuncs[name]:
+		if g.m.dirs.allowed(RuleWallclock, pos) {
+			return tSink{}, false
+		}
+		return tSink{desc: "time." + name, node: n, pos: pos}, true
+	case path == "math/rand" || path == "math/rand/v2":
+		if g.m.dirs.allowed(RuleWallclock, pos) {
+			return tSink{}, false
+		}
+		return tSink{desc: path + "." + name, node: n, pos: pos}, true
+	case path == "os" && envSinkFuncs[name]:
+		if g.m.dirs.allowed(RuleTaint, pos) {
+			return tSink{}, false
+		}
+		return tSink{desc: "os." + name, env: true, node: n, pos: pos}, true
+	}
+	return tSink{}, false
+}
+
+// propagate computes sink reachability to a fixed point. The call
+// graph can be cyclic (mutual recursion), so a one-pass DFS memo could
+// cache a wrong "unreachable" for cycle members; the iteration is
+// cheap at module scale and cannot.
+func (g *taintGraph) propagate() {
+	for _, node := range g.nodes {
+		if node.fr.fn != nil && len(node.sinks) > 0 {
+			g.reaches[node.fr.fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.nodes {
+			if node.fr.fn == nil || g.reaches[node.fr.fn] {
+				continue
+			}
+			for _, e := range node.edges {
+				if g.reaches[e.callee] {
+					g.reaches[node.fr.fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// reach returns one deterministic sink chain reachable from fn — a
+// shortest path of callee names down to the sink itself, found by BFS
+// over sink-reaching nodes — or "" when fn cannot reach any sink.
+func (g *taintGraph) reach(fn *types.Func) string {
+	if !g.reaches[fn] {
+		return ""
+	}
+	type step struct {
+		fn   *types.Func
+		prev int
+	}
+	queue := []step{{fn: fn, prev: -1}}
+	seen := map[*types.Func]bool{fn: true}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		node := g.byFn[cur.fn]
+		if node == nil {
+			continue
+		}
+		if len(node.sinks) > 0 {
+			// Reconstruct the path, sink first.
+			chain := node.sinks[0].desc
+			for j := i; j >= 0; j = queue[j].prev {
+				chain = shortName(queue[j].fn) + " → " + chain
+			}
+			return chain
+		}
+		for _, e := range node.edges {
+			if g.reaches[e.callee] && !seen[e.callee] {
+				seen[e.callee] = true
+				queue = append(queue, step{fn: e.callee, prev: i})
+			}
+		}
+	}
+	return ""
+}
+
+// shortName renders a function as pkg.Func or pkg.Type.Method.
+func shortName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+func lastChainElem(chain string) string {
+	if i := strings.LastIndex(chain, "→ "); i >= 0 {
+		return chain[i+len("→ "):]
+	}
+	return chain
+}

@@ -1,0 +1,38 @@
+// Taint fixtures, deterministic side: every way a function here can
+// reach a nondeterminism sink through helper layers, and the two
+// annotations that sanction one. Line numbers are asserted by
+// internal/simlint's tests; keep edits appended or update the tests.
+package det
+
+import (
+	"os"
+
+	"fixture/host"
+)
+
+// TaintedDirectEnv reads the environment directly: taint's own
+// finding (wallclock does not cover os).
+func TaintedDirectEnv() string { return os.Getenv("FIXTURE") }
+
+// TaintedOneHop reaches the clock through one helper layer.
+func TaintedOneHop() int64 { return host.Stamp() }
+
+// TaintedTwoHops reaches the clock through two helper layers.
+func TaintedTwoHops() int64 { return host.Elapsed(0) }
+
+// viaLocal is a package-local relay to the tainted helper; it is
+// flagged itself and taints its callers.
+func viaLocal() int64 { return host.Stamp() }
+
+// TaintedLocalHelper reaches the sink through the local relay.
+func TaintedLocalHelper() int64 { return viaLocal() }
+
+// AllowedEdge sanctions this one call edge; it neither fires nor
+// taints callers through this path.
+func AllowedEdge() int64 {
+	return host.Stamp() //simlint:allow taint fixture: pre-run setup, result never enters simulated state
+}
+
+// CleanThroughSanctionedSink calls a helper whose sink carries an
+// allow-wallclock annotation, which sanctions this caller too.
+func CleanThroughSanctionedSink() int64 { return host.SanctionedWall() }

@@ -1,0 +1,26 @@
+// Taint fixtures, host side: helper layers over nondeterminism sinks
+// that deterministic code must not reach. Line numbers are asserted by
+// internal/simlint's tests; keep edits appended or update the tests.
+package host
+
+import (
+	"os"
+	wt "time"
+)
+
+// Stamp samples the host clock with no annotation, so it taints every
+// transitive caller in a deterministic package. (The call itself is
+// also a wallclock finding — host packages stay under that rule.)
+func Stamp() int64 { return wt.Now().UnixNano() }
+
+// Elapsed is a second helper layer over Stamp.
+func Elapsed(since int64) int64 { return Stamp() - since }
+
+// SanctionedWall declares its clock read host-side only, which
+// sanctions every transitive caller.
+func SanctionedWall() int64 {
+	return wt.Now().UnixNano() //simlint:allow wallclock fixture: host-side speed measurement only
+}
+
+// Home reads the environment, which is fine on the host side.
+func Home() string { return os.Getenv("HOME") }

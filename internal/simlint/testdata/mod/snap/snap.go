@@ -1,0 +1,66 @@
+// Package snap is a minimal encoder/decoder pair so the statecov
+// fixtures can exercise realistic snapshot method bodies without
+// depending on the real snapshot package.
+package snap
+
+// Encoder appends values to a byte buffer.
+type Encoder struct{ buf []byte }
+
+// U64 writes a fixed-width integer.
+func (e *Encoder) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		e.buf = append(e.buf, byte(v>>(8*i)))
+	}
+}
+
+// F64 writes a float's bit pattern.
+func (e *Encoder) F64(v float64) { e.U64(uint64(int64(v))) }
+
+// Str writes a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder reads values back in write order.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// U64 reads a fixed-width integer.
+func (d *Decoder) U64() uint64 {
+	if d.off+8 > len(d.buf) {
+		d.err = errShort{}
+		return 0
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(d.buf[d.off+i]) << (8 * i)
+	}
+	d.off += 8
+	return v
+}
+
+// F64 reads a float's bit pattern.
+func (d *Decoder) F64() float64 { return float64(int64(d.U64())) }
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := int(d.U64())
+	if d.off+n > len(d.buf) {
+		d.err = errShort{}
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// Err reports the first decode error.
+func (d *Decoder) Err() error { return d.err }
+
+type errShort struct{}
+
+func (errShort) Error() string { return "snap: short buffer" }

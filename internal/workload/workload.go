@@ -45,27 +45,26 @@ type Synthetic struct {
 	OpsPerCore int
 	// ComputeMean is the mean compute gap between memory operations
 	// (geometric distribution); 0 means back-to-back memory ops.
-	ComputeMean float64
+	ComputeMean float64 //simlint:derived run-description config, covered by the snapshot config digest
 	// LoadFrac, StoreFrac, AtomicFrac split memory operations; they
 	// must sum to at most 1 (the remainder becomes extra compute).
-	LoadFrac, StoreFrac, AtomicFrac float64
+	LoadFrac, StoreFrac, AtomicFrac float64 //simlint:derived run-description config, covered by the snapshot config digest
 	// Addr picks operand lines.
-	Addr AddrFn
+	Addr AddrFn //simlint:derived construction input; function values are part of the kernel definition
 	// BarrierEvery inserts a global barrier every N memory ops per
 	// core (0 disables phase barriers).
-	BarrierEvery int
+	BarrierEvery int //simlint:derived run-description config, covered by the snapshot config digest
 	// PrivateLines sizes each core's private working set.
-	PrivateLines int
+	PrivateLines int //simlint:derived run-description config, covered by the snapshot config digest
 	// SharedLines sizes the global shared pool.
-	SharedLines int
+	SharedLines int //simlint:derived run-description config, covered by the snapshot config digest
 	// HotLines sizes the contended hotspot set.
-	HotLines int
+	HotLines int //simlint:derived run-description config, covered by the snapshot config digest
 	// Seed keys the per-core streams.
 	Seed uint64
 
 	rngs    []*sim.RNG
 	done    []int // memory ops issued per core
-	pending []fullsys.Op
 	phase   []int
 	nextBar []uint64
 	state   []uint8 // 0 running, 1 final barrier sent, 2 halted

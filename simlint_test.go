@@ -9,8 +9,9 @@ import (
 // TestSimlint runs the determinism lint over the whole module as part
 // of tier-1 `go test ./...`: the simulation-purity rules (no wall
 // clock, no map-order dependence, no ad-hoc concurrency in the
-// deterministic packages) are enforced, not advisory. See DESIGN.md
-// "Determinism contract".
+// deterministic packages, full snapshot field coverage, no transitive
+// nondeterminism through helper layers) are enforced, not advisory.
+// See DESIGN.md "Determinism contract".
 func TestSimlint(t *testing.T) {
 	findings, err := simlint.Run(simlint.Config{
 		Root:          ".",
