@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race simcheck premerge bench benchdiff fuzz-smoke
+.PHONY: all build test vet lint race simcheck premerge bench benchdiff fuzz-smoke cosimd-smoke
 
 all: build test
 
@@ -25,6 +25,16 @@ lint:
 # in-code f.Add seeds.
 fuzz-smoke:
 	$(GO) test ./internal/snapshot -run '^$$' -fuzz '^FuzzDecoder$$' -fuzztime 10s
+
+# End-to-end smoke of the co-simulation server: starts cosimd on a
+# loopback port with a deliberately tiny resident limit, drives a
+# sweep through the HTTP API (submit, NDJSON progress streams, result
+# fetch), and verifies every served fingerprint against a direct
+# in-process run of the same config — plus a byte-identical,
+# zero-cycle cache hit on resubmission. Exits nonzero unless eviction
+# pressure was actually exercised.
+cosimd-smoke:
+	$(GO) run ./cmd/cosimd -smoke -quiet
 
 # Dynamic pre-merge gates: the race detector across the whole module,
 # and the simcheck build, which arms sim.Assert and the event-queue

@@ -60,6 +60,7 @@ func main() {
 	findings, err := simlint.Run(simlint.Config{
 		Root:          root,
 		Deterministic: simlint.DefaultDeterministic(),
+		HostSide:      simlint.DefaultHostSide(),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)

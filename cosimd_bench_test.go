@@ -1,0 +1,98 @@
+package repro_test
+
+// Benchmarks for the cosimd multi-session server: raw scheduler
+// dispatch cost at realistic pool occupancies, and the end-to-end
+// server path (submit → slice → complete) against its cache-hit
+// fast path. Compared against testdata/bench-baseline.json by
+// `make bench-check`.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cosimd"
+)
+
+// BenchmarkCosimdSchedPick measures one dispatch decision — Pick,
+// charge, re-ready — with 256 ready sessions across 8 tenants, the
+// integration test's shape. Pick is a linear scan (scores drift every
+// tick, so there is no stable heap key); this pins its cost.
+func BenchmarkCosimdSchedPick(b *testing.B) {
+	sc := cosimd.NewSched(4096)
+	for i := 0; i < 256; i++ {
+		e := sc.Add(fmt.Sprintf("tenant-%d", i%8), uint64(i), nil)
+		sc.Ready(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sc.Pick()
+		sc.Account(e, 4096)
+		sc.Ready(e)
+	}
+}
+
+// BenchmarkCosimdSession measures the full server path for one tiny
+// session — submit, slice scheduling over the worker pool, completion,
+// envelope marshal — amortizing server start/stop across the batch.
+func BenchmarkCosimdSession(b *testing.B) {
+	srv, err := cosimd.NewServer(cosimd.Options{
+		Workers: 2, SliceCycles: 2048, StateDir: b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Distinct seeds defeat the result cache: every iteration
+		// simulates for real.
+		_, err := srv.Submit(cosimd.SubmitRequest{
+			Workload: "fft", Tiles: 4, Ops: 40, Seed: uint64(i + 1),
+			Mode: "reciprocal", Limit: 200_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv.Wait()
+	b.StopTimer()
+	for _, st := range srv.Sessions() {
+		if st.State != cosimd.StateDone {
+			b.Fatalf("session %s: %+v", st.ID, st)
+		}
+	}
+}
+
+// BenchmarkCosimdCacheHit measures the digest-keyed fast path: the
+// same config resubmitted is served from the cache without burning a
+// worker or a simulated cycle.
+func BenchmarkCosimdCacheHit(b *testing.B) {
+	srv, err := cosimd.NewServer(cosimd.Options{
+		Workers: 1, StateDir: b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	req := cosimd.SubmitRequest{
+		Workload: "fft", Tiles: 4, Ops: 40, Seed: 1,
+		Mode: "reciprocal", Limit: 200_000,
+	}
+	if _, err := srv.Submit(req); err != nil {
+		b.Fatal(err)
+	}
+	srv.Wait()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := srv.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.Cached {
+			b.Fatal("cache miss on a completed digest")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package cosimd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the server's HTTP API (stdlib mux, JSON bodies):
+//
+//	POST /api/v1/sessions            submit one run  → SessionStatus
+//	GET  /api/v1/sessions            list sessions   → []SessionStatus
+//	GET  /api/v1/sessions/{id}       session status  → SessionStatus
+//	GET  /api/v1/sessions/{id}/result   completed envelope (exact cached bytes)
+//	GET  /api/v1/sessions/{id}/progress NDJSON status stream until final state
+//	GET  /api/v1/sessions/{id}/metrics  latest obs metrics snapshot
+//	POST /api/v1/sweeps              expand + submit a sweep → SweepReply
+//	GET  /api/v1/stats               pool accounting → ServerStats
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/sessions", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/sessions", s.handleList)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /api/v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sessions())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	env, st, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	if st.State == StateFailed {
+		writeError(w, http.StatusConflict, "session failed: %s", st.Error)
+		return
+	}
+	if env == nil {
+		writeError(w, http.StatusConflict, "session not finished (state %s)", st.State)
+		return
+	}
+	// The envelope is served verbatim — cache hits are byte-identical
+	// to the original run's response body.
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(env)
+}
+
+// handleProgress streams one SessionStatus JSON line per state change
+// until the session reaches a final state or the client disconnects.
+// The stream is driven by the server's condition variable (no polling,
+// no wall-clock timers): every slice completion broadcasts.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Status(id); !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	// Wake the cond loop when the client goes away.
+	ctx := r.Context()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-done:
+		}
+	}()
+
+	enc := json.NewEncoder(w)
+	var last SessionStatus
+	first := true
+	for {
+		s.mu.Lock()
+		sess := s.sessions[id]
+		for {
+			st := s.statusLocked(sess)
+			if first || st != last || ctx.Err() != nil || s.closed {
+				last, first = st, false
+				break
+			}
+			s.cond.Wait()
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if ctx.Err() != nil {
+			return
+		}
+		if err := enc.Encode(last); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if last.State == StateDone || last.State == StateFailed || closed {
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	blob, ok := s.Metrics(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	if blob == nil {
+		writeError(w, http.StatusConflict, "no metrics: submit with \"metrics\": true and let a slice run")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sw SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&sw); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var reply SweepReply
+	for _, req := range sw.Expand() {
+		st, err := s.Submit(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "sweep point %d: %v", len(reply.IDs), err)
+			return
+		}
+		reply.IDs = append(reply.IDs, st.ID)
+		if st.Cached {
+			reply.Cached++
+		}
+	}
+	writeJSON(w, http.StatusAccepted, reply)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

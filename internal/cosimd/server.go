@@ -1,0 +1,627 @@
+// Package cosimd is the multi-session co-simulation server: it
+// multiplexes many concurrent, independently configured co-simulation
+// sessions over a bounded worker pool. It is the service-shaped
+// composition of the primitives the rest of the module already
+// guarantees:
+//
+//   - Sessions run in quantum-sized slices (Options.SliceCycles), so a
+//     worker is never held longer than one slice and the pool stays
+//     responsive however many sessions are live.
+//   - A fair-share scheduler (Sched) allocates slices by *simulated*
+//     cycles consumed per tenant, with priority aging — see sched.go.
+//   - LRU-idle sessions are evicted to checkpoint files
+//     (internal/ckpt) when the resident population exceeds
+//     Options.MaxResident, and are transparently faulted back in at
+//     their next dispatch. Bit-identical resume (the checkpoint
+//     subsystem's tested invariant) is what makes eviction invisible:
+//     an evicted-and-resumed session's fingerprint equals an
+//     uninterrupted run's.
+//   - Completed results are cached by config digest: resubmitting an
+//     identical config is served byte-identically from the cache
+//     without consuming a worker or a single simulated cycle.
+//   - Close drains every live session to a checkpoint and writes a
+//     manifest, so a restarted server resumes the same session table.
+//
+// cosimd is host-side harness code (simlint's host-side list): it uses
+// locks and goroutines freely *around* the simulator, while each
+// session's simulated state is only ever touched by the one worker
+// that holds it.
+package cosimd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// SliceCycles is the scheduling slice in simulated cycles — the
+	// most a session advances per dispatch (default 4096). The slice
+	// rounds up to the session's coupling quantum.
+	SliceCycles uint64
+	// MaxResident bounds in-memory sessions; beyond it, LRU-idle ready
+	// sessions are evicted to checkpoints (default 64; minimum
+	// Workers+1 is enforced so running sessions always fit).
+	MaxResident int
+	// StateDir holds checkpoints and the shutdown manifest (default: a
+	// fresh temp dir).
+	StateDir string
+	// Aging is the scheduler's per-tick waiting credit in cycles
+	// (default SliceCycles).
+	Aging uint64
+	// Builder turns requests into co-simulations (default StdBuilder).
+	Builder Builder
+	// Log, when non-nil, receives one line per server-level event
+	// (evictions, restores, failures). Never written under the lock.
+	Log io.Writer
+}
+
+func (o *Options) normalize() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.SliceCycles == 0 {
+		o.SliceCycles = 4096
+	}
+	if o.MaxResident <= 0 {
+		o.MaxResident = 64
+	}
+	if o.MaxResident < o.Workers+1 {
+		o.MaxResident = o.Workers + 1
+	}
+	if o.Aging == 0 {
+		o.Aging = o.SliceCycles
+	}
+	if o.Builder == nil {
+		o.Builder = StdBuilder{}
+	}
+}
+
+// session is the server-side state of one submitted run.
+type session struct {
+	id     string
+	seq    uint64
+	req    SubmitRequest
+	digest uint64
+	entry  *Entry
+
+	state    State
+	resident bool
+	hasCkpt  bool
+	cs       *core.Cosim
+	ob       *obs.Observer
+
+	cycle   uint64
+	cycles  uint64
+	retired uint64
+
+	evictions int
+	restores  int
+	lastRun   uint64 // scheduler tick of last slice completion (LRU key)
+
+	cached      bool
+	finished    bool
+	result      []byte
+	fingerprint string
+	errMsg      string
+
+	metricsJSON []byte
+}
+
+type cacheEntry struct {
+	envelope    []byte
+	fingerprint string
+	finished    bool
+}
+
+// Server owns the session table, scheduler, cache, and worker pool.
+type Server struct {
+	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	sessions map[string]*session
+	order    []*session
+	sched    *Sched
+	cache    map[uint64]*cacheEntry
+
+	nextSeq   uint64
+	resident  int
+	evictions uint64
+	restores  uint64
+	cacheHits uint64
+	cacheMiss uint64
+	closed    bool
+	drained   bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer builds and starts a server (its worker pool runs until
+// Close). When StateDir contains a manifest from a drained server, the
+// previous session table — completed results and checkpointed live
+// sessions alike — is restored before the pool starts.
+func NewServer(opts Options) (*Server, error) {
+	opts.normalize()
+	if opts.StateDir == "" {
+		dir, err := os.MkdirTemp("", "cosimd-*")
+		if err != nil {
+			return nil, err
+		}
+		opts.StateDir = dir
+	} else if err := os.MkdirAll(opts.StateDir, 0o777); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:     opts,
+		sessions: map[string]*session{},
+		sched:    NewSched(opts.Aging),
+		cache:    map[uint64]*cacheEntry{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, "cosimd: "+format+"\n", args...)
+	}
+}
+
+// StateDir reports where checkpoints and the manifest live (resolved
+// when Options.StateDir was defaulted to a temp dir).
+func (s *Server) StateDir() string { return s.opts.StateDir }
+
+func (s *Server) ckptPath(id string) string {
+	return filepath.Join(s.opts.StateDir, id+".ckpt")
+}
+
+// Submit registers a run and returns its initial status. A digest
+// already in the result cache completes the session immediately —
+// byte-identical result, zero simulated cycles, no worker consumed.
+func (s *Server) Submit(req SubmitRequest) (SessionStatus, error) {
+	req.Normalize()
+	digest, err := s.opts.Builder.Digest(req)
+	if err != nil {
+		return SessionStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SessionStatus{}, fmt.Errorf("cosimd: server is shut down")
+	}
+	sess := &session{
+		id:     fmt.Sprintf("s-%06d", s.nextSeq),
+		seq:    s.nextSeq,
+		req:    req,
+		digest: digest,
+	}
+	s.nextSeq++
+	if e := s.cache[digest]; e != nil {
+		s.cacheHits++
+		sess.state = StateDone
+		sess.cached = true
+		sess.finished = e.finished
+		sess.result = e.envelope
+		sess.fingerprint = e.fingerprint
+		sess.cycle = uint64OfEnvelope(e.envelope)
+	} else {
+		s.cacheMiss++
+		sess.state = StateReady
+		sess.entry = s.sched.Add(req.Tenant, sess.seq, sess)
+		s.sched.Ready(sess.entry)
+		s.cond.Broadcast()
+	}
+	s.sessions[sess.id] = sess
+	s.order = append(s.order, sess)
+	return s.statusLocked(sess), nil
+}
+
+// uint64OfEnvelope recovers the final cycle from a cached envelope so
+// cache-served sessions report a meaningful Cycle. Best-effort: a
+// decode failure just reports 0.
+func uint64OfEnvelope(envelope []byte) uint64 {
+	var env ResultEnvelope
+	if err := json.Unmarshal(envelope, &env); err != nil {
+		return 0
+	}
+	return uint64(env.Result.ExecCycles)
+}
+
+// Status returns a session's current status.
+func (s *Server) Status(id string) (SessionStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	if sess == nil {
+		return SessionStatus{}, false
+	}
+	return s.statusLocked(sess), true
+}
+
+// Sessions lists all sessions in submit order.
+func (s *Server) Sessions() []SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionStatus, 0, len(s.order))
+	for _, sess := range s.order {
+		out = append(out, s.statusLocked(sess))
+	}
+	return out
+}
+
+func (s *Server) statusLocked(sess *session) SessionStatus {
+	return SessionStatus{
+		ID:        sess.id,
+		Tenant:    sess.req.Tenant,
+		State:     sess.state,
+		Digest:    fmt.Sprintf("%016x", sess.digest),
+		Cycle:     uint64(sess.cycle),
+		Limit:     sess.req.Limit,
+		Cycles:    sess.cycles,
+		Retired:   sess.retired,
+		Resident:  sess.resident,
+		Evictions: sess.evictions,
+		Restores:  sess.restores,
+		Cached:    sess.cached,
+		Finished:  sess.finished,
+		Error:     sess.errMsg,
+	}
+}
+
+// Result returns a completed session's envelope bytes.
+func (s *Server) Result(id string) ([]byte, SessionStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	if sess == nil {
+		return nil, SessionStatus{}, false
+	}
+	return sess.result, s.statusLocked(sess), true
+}
+
+// Metrics returns a session's latest obs metrics snapshot (nil when
+// the session was not submitted with metrics enabled or has not run a
+// slice yet).
+func (s *Server) Metrics(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	if sess == nil {
+		return nil, false
+	}
+	return sess.metricsJSON, true
+}
+
+// Stats reports pool-level accounting.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ServerStats{
+		Sessions:  len(s.order),
+		ByState:   map[State]int{},
+		Resident:  s.resident,
+		Workers:   s.opts.Workers,
+		Slice:     s.opts.SliceCycles,
+		Evictions: s.evictions,
+		Restores:  s.restores,
+		CacheHits: s.cacheHits,
+		CacheMiss: s.cacheMiss,
+		Tenants:   s.sched.Tenants(),
+		Fairness:  s.sched.Fairness(),
+	}
+	for _, sess := range s.order {
+		st.ByState[sess.state]++
+	}
+	return st
+}
+
+// Wait blocks until every submitted session has reached a final state
+// (done or failed). It returns immediately on a drained server.
+func (s *Server) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed {
+		live := false
+		for _, sess := range s.order {
+			if sess.state != StateDone && sess.state != StateFailed {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return
+		}
+		s.cond.Wait()
+	}
+}
+
+// worker is one pool goroutine: pick, run a slice, account, repeat.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		var e *Entry
+		for !s.closed {
+			if e = s.sched.Pick(); e != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		sess := e.Payload.(*session)
+		sess.state = StateRunning
+		s.mu.Unlock()
+
+		s.runSlice(sess)
+
+		s.mu.Lock()
+		s.evictOverflowLocked()
+	}
+}
+
+// runSlice advances one session by one slice on the calling worker.
+// The worker exclusively owns sess.cs between the StateRunning
+// transition and the accounting step — no lock is held while the
+// simulator steps.
+func (s *Server) runSlice(sess *session) {
+	if !sess.resident {
+		if err := s.faultIn(sess); err != nil {
+			s.finishSlice(sess, sess.cycle, sess.retired, 0, nil, "", err)
+			return
+		}
+	}
+	start := sess.cs.Cycle()
+	target := start + sim.Cycle(s.opts.SliceCycles)
+	limit := sim.Cycle(sess.req.Limit)
+	if target > limit {
+		target = limit
+	}
+	res := sess.cs.Run(target)
+	consumed := uint64(sess.cs.Cycle() - start)
+	cycle, retired := uint64(sess.cs.Cycle()), sess.cs.Sys.Retired()
+	if sess.ob != nil {
+		sess.metricsJSON = metricsSnapshot(sess.ob)
+	}
+	if res.Finished || res.Stalled || sess.cs.Cycle() >= limit {
+		fp := Fingerprint(sess.cs, res)
+		env, err := json.Marshal(ResultEnvelope{
+			Digest:      fmt.Sprintf("%016x", sess.digest),
+			Fingerprint: fp,
+			Result:      res,
+		})
+		s.finishSlice(sess, cycle, retired, consumed, env, fp, err)
+		return
+	}
+	s.finishSlice(sess, cycle, retired, consumed, nil, "", nil)
+}
+
+// finishSlice applies a slice's outcome to the session table. env
+// non-nil means the run completed; err non-nil means it failed. cycle
+// and retired are the post-slice progress readings, captured by the
+// worker while it still owned the simulator.
+func (s *Server) finishSlice(sess *session, cycle, retired, consumed uint64, env []byte, fp string, err error) {
+	if err != nil && sess.resident {
+		sess.cs.Close()
+	}
+	if env != nil {
+		sess.cs.Close()
+	}
+	s.mu.Lock()
+	defer func() {
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	if sess.resident && (env != nil || err != nil) {
+		sess.resident = false
+		s.resident--
+		sess.cs, sess.ob = nil, nil
+	}
+	sess.lastRun = s.sched.tick
+	sess.cycle, sess.retired = cycle, retired
+	sess.cycles += consumed
+	switch {
+	case err != nil:
+		sess.state = StateFailed
+		sess.errMsg = err.Error()
+		s.sched.Retire(sess.entry, consumed)
+		s.logf("session %s failed: %v", sess.id, err)
+	case env != nil:
+		sess.state = StateDone
+		sess.finished = true
+		sess.result = env
+		sess.fingerprint = fp
+		s.sched.Retire(sess.entry, consumed)
+		if s.cache[sess.digest] == nil {
+			s.cache[sess.digest] = &cacheEntry{envelope: env, fingerprint: fp, finished: true}
+		}
+		// The on-disk checkpoint is stale once the run completed.
+		if sess.hasCkpt {
+			os.Remove(s.ckptPath(sess.id))
+			sess.hasCkpt = false
+		}
+	default:
+		sess.state = StateReady
+		s.sched.Account(sess.entry, consumed)
+		s.sched.Ready(sess.entry)
+	}
+}
+
+// faultIn (re)builds a session's co-simulation on the calling worker:
+// first dispatch builds from the request; later dispatches additionally
+// restore the eviction checkpoint, continuing bit-identically.
+func (s *Server) faultIn(sess *session) error {
+	cs, err := s.opts.Builder.Build(sess.req)
+	if err != nil {
+		return err
+	}
+	if sess.hasCkpt {
+		if err := ckpt.Load(s.ckptPath(sess.id), cs, sess.digest); err != nil {
+			cs.Close()
+			return err
+		}
+	}
+	if sess.req.Metrics {
+		sess.ob = obs.New(obs.Options{Metrics: true, Calib: true})
+		cs.SetObserver(sess.ob)
+	}
+	sess.cs = cs
+	s.mu.Lock()
+	sess.resident = true
+	s.resident++
+	if sess.hasCkpt {
+		sess.restores++
+		s.restores++
+	}
+	s.mu.Unlock()
+	if sess.hasCkpt {
+		s.logf("session %s faulted in at cycle %d", sess.id, cs.Cycle())
+	}
+	return nil
+}
+
+// evictOverflowLocked evicts LRU-idle ready sessions until the
+// resident population fits MaxResident. Called with the lock held; the
+// saves themselves run unlocked on the calling worker, with the victim
+// parked in StateEvicting so no other worker can dispatch it.
+func (s *Server) evictOverflowLocked() {
+	for s.resident > s.opts.MaxResident {
+		victim := s.lruVictimLocked()
+		if victim == nil {
+			return // everything resident is running; nothing evictable
+		}
+		victim.state = StateEvicting
+		s.sched.Block(victim.entry)
+		s.mu.Unlock()
+		err := ckpt.Save(s.ckptPath(victim.id), victim.cs, victim.digest)
+		if err == nil {
+			victim.cs.Close()
+		}
+		s.mu.Lock()
+		if err != nil {
+			// Keep the session resident and runnable; eviction is an
+			// optimization, not a correctness step.
+			victim.state = StateReady
+			s.sched.Ready(victim.entry)
+			s.cond.Broadcast()
+			s.logf("evict %s failed: %v", victim.id, err)
+			return
+		}
+		victim.cs, victim.ob = nil, nil
+		victim.resident = false
+		victim.hasCkpt = true
+		victim.evictions++
+		s.evictions++
+		s.resident--
+		victim.state = StateReady
+		s.sched.Ready(victim.entry)
+		s.cond.Broadcast()
+	}
+}
+
+// lruVictimLocked picks the resident ready session that ran least
+// recently.
+func (s *Server) lruVictimLocked() *session {
+	var victim *session
+	for _, sess := range s.order {
+		if !sess.resident || sess.state != StateReady {
+			continue
+		}
+		if victim == nil || sess.lastRun < victim.lastRun ||
+			(sess.lastRun == victim.lastRun && sess.seq < victim.seq) {
+			victim = sess
+		}
+	}
+	return victim
+}
+
+// metricsSnapshot marshals the observer's registry.
+func metricsSnapshot(ob *obs.Observer) []byte {
+	var buf jsonBuffer
+	if err := ob.WriteMetrics(&buf); err != nil {
+		return nil
+	}
+	return buf.bytes
+}
+
+// jsonBuffer is a minimal io.Writer (avoids importing bytes for one
+// call site).
+type jsonBuffer struct{ bytes []byte }
+
+func (b *jsonBuffer) Write(p []byte) (int, error) {
+	b.bytes = append(b.bytes, p...)
+	return len(p), nil
+}
+
+// Close shuts the pool down gracefully: stop dispatching, wait out
+// in-flight slices, drain every live session to a checkpoint file, and
+// write the manifest. A server built later on the same StateDir
+// resumes the full session table.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	// Workers are gone; only HTTP readers share the lock now. Drain
+	// resident sessions to checkpoints.
+	s.mu.Lock()
+	var firstErr error
+	for _, sess := range s.order {
+		if !sess.resident {
+			continue
+		}
+		if err := ckpt.Save(s.ckptPath(sess.id), sess.cs, sess.digest); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			s.mu.Unlock()
+			s.logf("drain %s failed: %v", sess.id, err)
+			s.mu.Lock()
+			continue
+		}
+		sess.cs.Close()
+		sess.cs, sess.ob = nil, nil
+		sess.resident = false
+		sess.hasCkpt = true
+		sess.evictions++
+		s.evictions++
+		s.resident--
+		if sess.state == StateRunning || sess.state == StateEvicting {
+			sess.state = StateReady
+		}
+	}
+	s.drained = firstErr == nil
+	s.mu.Unlock()
+	if err := s.saveManifest(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

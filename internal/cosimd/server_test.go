@@ -1,0 +1,393 @@
+package cosimd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// tinyReq is the test workhorse: a 4-tile run that finishes in ~5k
+// cycles, so it spans several 512-cycle slices but completes fast.
+// Distinct seeds give distinct digests (no accidental cache hits).
+func tinyReq(seed uint64) SubmitRequest {
+	return SubmitRequest{
+		Workload: "fft", Tiles: 4, Ops: 40, Seed: seed,
+		Mode: "reciprocal", Limit: 200_000,
+	}
+}
+
+// directFingerprint runs the request uninterrupted — no server, no
+// slicing, no eviction — and fingerprints the outcome.
+func directFingerprint(t *testing.T, req SubmitRequest) string {
+	t.Helper()
+	req.Normalize()
+	cs, err := StdBuilder{}.Build(req)
+	if err != nil {
+		t.Fatalf("direct build: %v", err)
+	}
+	defer cs.Close()
+	res := cs.Run(sim.Cycle(req.Limit))
+	return Fingerprint(cs, res)
+}
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.StateDir == "" {
+		opts.StateDir = t.TempDir()
+	}
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func envelope(t *testing.T, srv *Server, id string) ([]byte, ResultEnvelope) {
+	t.Helper()
+	blob, st, ok := srv.Result(id)
+	if !ok || blob == nil {
+		t.Fatalf("no result for %s (state %+v)", id, st)
+	}
+	var env ResultEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		t.Fatalf("bad envelope for %s: %v", id, err)
+	}
+	return blob, env
+}
+
+// TestEvictResumeFingerprint is the subsystem's core invariant: a
+// session that was evicted to a checkpoint and faulted back in (over a
+// pool far smaller than the session count) finishes with exactly the
+// fingerprint of an uninterrupted run.
+func TestEvictResumeFingerprint(t *testing.T) {
+	srv := newTestServer(t, Options{
+		Workers: 2, MaxResident: 3, SliceCycles: 512,
+	})
+	const n = 8
+	var ids [n]string
+	for i := 0; i < n; i++ {
+		st, err := srv.Submit(tinyReq(uint64(i + 1)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = st.ID
+	}
+	srv.Wait()
+	evicted := 0
+	for i, id := range ids {
+		st, ok := srv.Status(id)
+		if !ok || st.State != StateDone {
+			t.Fatalf("session %s: %+v", id, st)
+		}
+		evicted += st.Evictions
+		_, env := envelope(t, srv, id)
+		if want := directFingerprint(t, tinyReq(uint64(i+1))); env.Fingerprint != want {
+			t.Errorf("session %s fingerprint diverged after %d evictions\n got %s\nwant %s",
+				id, st.Evictions, env.Fingerprint, want)
+		}
+		if !env.Result.Finished {
+			t.Errorf("session %s did not finish", id)
+		}
+	}
+	if evicted == 0 {
+		t.Error("MaxResident=3 with 8 sessions forced no evictions — the test proved nothing")
+	}
+}
+
+// TestCacheByteIdentical: resubmitting a completed config is served
+// from the digest-keyed cache — byte-identical envelope, zero
+// simulated cycles, no worker time.
+func TestCacheByteIdentical(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	st1, err := srv.Submit(tinyReq(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+	blob1, _ := envelope(t, srv, st1.ID)
+
+	st2, err := srv.Submit(tinyReq(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.State != StateDone {
+		t.Fatalf("resubmission not cache-served: %+v", st2)
+	}
+	if st2.Cycles != 0 {
+		t.Errorf("cache hit consumed %d simulated cycles, want 0", st2.Cycles)
+	}
+	blob2, _ := envelope(t, srv, st2.ID)
+	if !bytes.Equal(blob1, blob2) {
+		t.Errorf("cache hit not byte-identical:\n%s\nvs\n%s", blob1, blob2)
+	}
+
+	stats := srv.Stats()
+	if stats.CacheHits != 1 || stats.CacheMiss != 1 {
+		t.Errorf("cache accounting: %+v", stats)
+	}
+	// A different seed is a different digest — no false sharing.
+	st3, err := srv.Submit(tinyReq(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Cached {
+		t.Error("distinct config served from cache")
+	}
+}
+
+// TestSubmitValidation: bad requests are rejected at submit time with
+// no session created.
+func TestSubmitValidation(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	for _, req := range []SubmitRequest{
+		{Mode: "warp-drive"},
+		{Workload: "quake"},
+		{Tiles: -1},
+	} {
+		if _, err := srv.Submit(req); err == nil {
+			t.Errorf("request %+v accepted", req)
+		}
+	}
+	if n := len(srv.Sessions()); n != 0 {
+		t.Errorf("rejected submissions left %d sessions", n)
+	}
+}
+
+// TestDrainRestart: Close drains live sessions to checkpoints and
+// writes a manifest; a new server on the same StateDir resumes them to
+// completion with uninterrupted-run fingerprints, and re-seeds its
+// result cache from the drained table.
+func TestDrainRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// Phase 1: complete one session (for the cache), then submit more
+	// and close immediately so they drain unfinished.
+	srv1 := newTestServer(t, Options{Workers: 2, SliceCycles: 512, StateDir: dir})
+	stDone, err := srv1.Submit(tinyReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Wait()
+	doneBlob, _ := envelope(t, srv1, stDone.ID)
+	var pending []string
+	for i := 2; i <= 5; i++ {
+		st, err := srv1.Submit(tinyReq(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, st.ID)
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatalf("no manifest after drain: %v", err)
+	}
+
+	// Phase 2: a fresh server on the same StateDir resumes the table.
+	srv2 := newTestServer(t, Options{Workers: 2, SliceCycles: 512, StateDir: dir})
+	srv2.Wait()
+	for i, id := range pending {
+		st, ok := srv2.Status(id)
+		if !ok || st.State != StateDone {
+			t.Fatalf("restored session %s: ok=%v %+v", id, ok, st)
+		}
+		_, env := envelope(t, srv2, id)
+		if want := directFingerprint(t, tinyReq(uint64(i+2))); env.Fingerprint != want {
+			t.Errorf("restored session %s fingerprint diverged\n got %s\nwant %s",
+				id, env.Fingerprint, want)
+		}
+	}
+	// The completed session's result survived verbatim and re-seeded
+	// the cache: a resubmission is served without simulating.
+	blob, _, ok := srv2.Result(stDone.ID)
+	if !ok || !bytes.Equal(blob, doneBlob) {
+		t.Error("completed result did not survive the restart byte-identically")
+	}
+	st, err := srv2.Submit(tinyReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cached {
+		t.Error("restarted server did not re-seed the result cache")
+	}
+}
+
+// TestMetricsSnapshot: a session submitted with Metrics gets obs
+// registry snapshots; one without stays nil (observability is opt-in).
+func TestMetricsSnapshot(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	req := tinyReq(11)
+	req.Metrics = true
+	st, err := srv.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := srv.Submit(tinyReq(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+	blob, ok := srv.Metrics(st.ID)
+	if !ok || blob == nil {
+		t.Fatal("no metrics snapshot for a Metrics session")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if blob, _ := srv.Metrics(plain.ID); blob != nil {
+		t.Error("metrics recorded for a session that did not ask for them")
+	}
+	// The Metrics knob is excluded from the digest: the plain-config
+	// twin of a metrics run is still a cache hit (zero-perturbation
+	// observability, proven by the obs subsystem).
+	twin := tinyReq(11)
+	hit, err := srv.Submit(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Error("metrics flag changed the config digest")
+	}
+}
+
+// TestHTTPAPI drives the full surface through a real HTTP round trip.
+func TestHTTPAPI(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2, SliceCycles: 512})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		blob, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		return resp
+	}
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+	decode := func(resp *http.Response, out any) {
+		t.Helper()
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+
+	// Submit.
+	resp := post("/api/v1/sessions", tinyReq(21))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var st SessionStatus
+	decode(resp, &st)
+
+	// Progress: stream until the final state (blocks, no polling).
+	resp = get("/api/v1/sessions/" + st.ID + "/progress")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("progress content type %q", ct)
+	}
+	var last SessionStatus
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("progress line %d: %v", lines, err)
+		}
+		lines++
+	}
+	resp.Body.Close()
+	if lines == 0 || last.State != StateDone {
+		t.Fatalf("progress stream ended after %d lines in state %s", lines, last.State)
+	}
+
+	// Status and list agree.
+	decode(get("/api/v1/sessions/"+st.ID), &st)
+	if st.State != StateDone {
+		t.Fatalf("status after progress end: %+v", st)
+	}
+	var list []SessionStatus
+	decode(get("/api/v1/sessions"), &list)
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Errorf("list: %+v", list)
+	}
+
+	// Result envelope matches the direct fingerprint.
+	resp = get("/api/v1/sessions/" + st.ID + "/result")
+	var env ResultEnvelope
+	decode(resp, &env)
+	if want := directFingerprint(t, tinyReq(21)); env.Fingerprint != want {
+		t.Errorf("served fingerprint %s, want %s", env.Fingerprint, want)
+	}
+
+	// Sweep: 2 workloads × 2 seeds, one point repeating the finished
+	// config → one cache hit.
+	resp = post("/api/v1/sweeps", SweepRequest{
+		Base:      tinyReq(0),
+		Workloads: []string{"fft", "radix"},
+		Seeds:     []uint64{21, 22},
+	})
+	var reply SweepReply
+	decode(resp, &reply)
+	if len(reply.IDs) != 4 || reply.Cached != 1 {
+		t.Errorf("sweep reply: %+v", reply)
+	}
+
+	// Stats.
+	var stats ServerStats
+	decode(get("/api/v1/stats"), &stats)
+	if stats.Sessions != 5 || stats.Workers != 2 {
+		t.Errorf("stats: %+v", stats)
+	}
+
+	// Error surfaces.
+	if resp := get("/api/v1/sessions/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: HTTP %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/sessions", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: HTTP %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = post("/api/v1/sessions", SubmitRequest{Mode: "warp-drive"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad mode: HTTP %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestSubmitAfterClose: a drained server refuses new work instead of
+// silently dropping it.
+func TestSubmitAfterClose(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(tinyReq(1)); err == nil {
+		t.Error("submit on a closed server succeeded")
+	}
+}

@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/cosimd"
+)
+
+// ServerSweep translates an experiment Scale into the submit requests
+// a cosimd server runs as one design-space sweep: the cartesian
+// product of the scale's workloads and the given modes (nil means
+// every mode), at the scale's core count, op budget, quantum, seed,
+// and cycle limit.
+//
+// Each workload submits under its own tenant name, so the fair-share
+// scheduler interleaves kernels by simulated cycles instead of letting
+// an expensive kernel starve a cheap one — the server-driven analogue
+// of the harness running experiments back-to-back.
+func ServerSweep(s Scale, modes []string) []cosimd.SubmitRequest {
+	if len(modes) == 0 {
+		for _, m := range []string{"synchronous", "abstract", "contention", "reciprocal"} {
+			modes = append(modes, m)
+		}
+	}
+	var reqs []cosimd.SubmitRequest
+	for _, wl := range s.Workloads {
+		for _, mode := range modes {
+			reqs = append(reqs, cosimd.SubmitRequest{
+				Tenant:   "expt-" + wl,
+				Workload: wl,
+				Tiles:    s.Cores,
+				Ops:      s.OpsPerCore,
+				Seed:     s.Seed,
+				Mode:     mode,
+				Quantum:  s.Quantum,
+				Limit:    uint64(s.CycleLimit),
+				MemModel: s.MemModel,
+			})
+		}
+	}
+	return reqs
+}
+
+// SubmitSweep pushes a ServerSweep onto a running server and returns
+// the created session IDs in request order.
+func SubmitSweep(srv *cosimd.Server, s Scale, modes []string) ([]string, error) {
+	reqs := ServerSweep(s, modes)
+	ids := make([]string, 0, len(reqs))
+	for i, req := range reqs {
+		st, err := srv.Submit(req)
+		if err != nil {
+			return ids, fmt.Errorf("sweep point %d (%s/%s): %w", i, req.Workload, req.Mode, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	return ids, nil
+}

@@ -1,0 +1,67 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/cosimd"
+)
+
+// TestServerSweepShape: the sweep covers the workload × mode product
+// with the scale's parameters, one tenant per workload.
+func TestServerSweepShape(t *testing.T) {
+	s := tinyScale()
+	reqs := ServerSweep(s, []string{"reciprocal", "abstract"})
+	if want := len(s.Workloads) * 2; len(reqs) != want {
+		t.Fatalf("got %d requests, want %d", len(reqs), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range reqs {
+		if r.Tiles != s.Cores || r.Ops != s.OpsPerCore || r.Seed != s.Seed ||
+			r.Quantum != s.Quantum || r.Limit != uint64(s.CycleLimit) {
+			t.Errorf("request does not carry the scale: %+v", r)
+		}
+		if r.Tenant != "expt-"+r.Workload {
+			t.Errorf("tenant %q for workload %q", r.Tenant, r.Workload)
+		}
+		seen[r.Workload+"/"+r.Mode] = true
+	}
+	if len(seen) != len(reqs) {
+		t.Error("sweep points are not distinct")
+	}
+	if got := ServerSweep(s, nil); len(got) != len(s.Workloads)*4 {
+		t.Errorf("default mode list: got %d requests", len(got))
+	}
+}
+
+// TestSubmitSweepRuns pushes a small sweep through a live server and
+// verifies every point completes.
+func TestSubmitSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	s := tinyScale()
+	s.Cores = 4
+	s.OpsPerCore = 40
+	s.CycleLimit = 200_000
+	srv, err := cosimd.NewServer(cosimd.Options{Workers: 2, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ids, err := SubmitSweep(srv, s, []string{"reciprocal", "synchronous"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+	for _, id := range ids {
+		st, ok := srv.Status(id)
+		if !ok || st.State != cosimd.StateDone {
+			t.Errorf("sweep session %s: %+v", id, st)
+		}
+	}
+	// One tenant per workload reached the scheduler.
+	stats := srv.Stats()
+	if len(stats.Tenants) != len(s.Workloads) {
+		t.Errorf("tenants: %+v", stats.Tenants)
+	}
+}

@@ -18,10 +18,10 @@
 // file at a time, while statecov and taint consume whole-module
 // indexes (the method table and the static call graph) built from the
 // same type information. Rules never re-parse or re-type-check, which
-// is what keeps a seven-rule whole-module pass as cheap as the old
+// is what keeps an eight-rule whole-module pass as cheap as the old
 // five-rule syntactic one.
 //
-// Seven rules are enforced:
+// Eight rules are enforced:
 //
 //   - wallclock (whole module): no calls to time.Now, time.Since, and
 //     the other wall-clock/timer entry points, and no import of
@@ -74,6 +74,15 @@
 //     sanctions its transitive callers; //simlint:allow taint on a
 //     call edge sanctions that edge alone.
 //
+//   - classify (whole module, when a host-side list is configured):
+//     every package under internal/ must be claimed by exactly one of
+//     the deterministic and host-side lists. A package in neither (or
+//     both) is a finding at its package clause. The lists live in
+//     DefaultDeterministic/DefaultHostSide and are documented in
+//     DESIGN.md, so a new package's determinism scope is a one-line,
+//     reviewed decision instead of an implicit consequence of its
+//     directory.
+//
 // A finding is suppressed by a directive comment on the same line or
 // the line directly above:
 //
@@ -111,6 +120,11 @@ const (
 	RuleAlloc       = "alloc"
 	RuleStatecov    = "statecov"
 	RuleTaint       = "taint"
+	// RuleClassify reports internal/ packages that appear in neither
+	// (or both of) the deterministic and host-side lists. Determinism
+	// scope is an explicit, reviewed decision made once per package,
+	// not an accident of directory layout.
+	RuleClassify = "classify"
 	// RuleDirective reports malformed //simlint: directives. It cannot
 	// be suppressed.
 	RuleDirective = "directive"
@@ -127,6 +141,7 @@ var knownRules = map[string]bool{
 	RuleAlloc:       true,
 	RuleStatecov:    true,
 	RuleTaint:       true,
+	RuleClassify:    true,
 }
 
 // knownRuleList returns the suppressible rule names, sorted, for
@@ -162,6 +177,17 @@ type Config struct {
 	// contract (maprange + concurrency + taint in addition to
 	// wallclock).
 	Deterministic []string
+	// HostSide lists module-relative import-path prefixes of internal/
+	// packages that are deliberately host-side harness code (servers,
+	// file I/O, analysis tooling): wallclock and output still apply,
+	// the deterministic-only rules do not. When HostSide is non-nil,
+	// every package under internal/ must fall under exactly one of the
+	// two lists; an unclassified (or doubly classified) package is a
+	// `classify` finding. This replaces the old implicit "everything
+	// under internal/ is simulated" assumption: a new package is
+	// classified once, here, instead of sprinkling //simlint:allow over
+	// every handler it grows.
+	HostSide []string
 }
 
 // DefaultDeterministic is the set of packages under the determinism
@@ -181,6 +207,24 @@ func DefaultDeterministic() []string {
 		"internal/workload",
 		"internal/calib",
 		"internal/obs",
+		"internal/gpu",
+	}
+}
+
+// DefaultHostSide is the explicit complement: the internal/ packages
+// that run on the host around the simulator rather than inside the
+// simulated target. The two lists together must cover every internal/
+// package (the classify rule enforces this), so determinism scope is
+// decided once per package, in code review, when the package is born.
+// See DESIGN.md "Determinism contract".
+func DefaultHostSide() []string {
+	return []string{
+		"internal/ckpt",     // checkpoint file I/O and resumable running
+		"internal/cosimd",   // the multi-session co-simulation server
+		"internal/expt",     // experiment harness (memoized host-side sweeps)
+		"internal/simlint",  // this analyzer
+		"internal/snapshot", // envelope codec: deterministic bytes, host-side I/O helpers
+		"internal/stats",    // reporting containers; snapshotted state is covered by statecov
 	}
 }
 
@@ -196,6 +240,13 @@ func Run(cfg Config) ([]Finding, error) {
 
 	// Malformed directives surfaced during phase one.
 	findings := append([]Finding(nil), m.dirs.findings...)
+
+	// Classification: with an explicit host-side list configured, every
+	// internal/ package must be claimed by exactly one of the two
+	// lists.
+	if cfg.HostSide != nil {
+		findings = append(findings, classify(m, &cfg)...)
+	}
 
 	// Local (per-file) rules.
 	for _, path := range m.sorted {
@@ -237,4 +288,33 @@ func isDeterministic(modPath, pkg string, prefixes []string) bool {
 		}
 	}
 	return false
+}
+
+// classify checks that every internal/ package is claimed by exactly
+// one of the deterministic and host-side lists. Findings anchor at the
+// package clause of the package's first (lexically sorted) file.
+func classify(m *Module, cfg *Config) []Finding {
+	var out []Finding
+	for _, path := range m.sorted {
+		if !strings.HasPrefix(path, m.path+"/internal/") {
+			continue
+		}
+		det := isDeterministic(m.path, path, cfg.Deterministic)
+		host := isDeterministic(m.path, path, cfg.HostSide)
+		if det == host {
+			p := m.pkgs[path]
+			if len(p.files) == 0 {
+				continue
+			}
+			rel := strings.TrimPrefix(path, m.path+"/")
+			var msg string
+			if det {
+				msg = fmt.Sprintf("package %s is in both the deterministic and host-side lists; remove it from one", rel)
+			} else {
+				msg = fmt.Sprintf("package %s is neither deterministic nor host-side; add it to DefaultDeterministic or DefaultHostSide (see DESIGN.md \"Determinism contract\")", rel)
+			}
+			m.report(&out, p.files[0].Name, RuleClassify, msg)
+		}
+	}
+	return out
 }

@@ -157,3 +157,64 @@ func TestRepoIsDeterministicSuperset(t *testing.T) {
 		t.Error("internal/sim must be under the determinism contract")
 	}
 }
+
+// classifyFindings runs the fixture with an explicit classification
+// and returns only the classify findings.
+func classifyFindings(t *testing.T, det, host []string) []string {
+	t.Helper()
+	findings, err := Run(Config{
+		Root:          filepath.Join("testdata", "mod"),
+		Deterministic: det,
+		HostSide:      host,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var got []string
+	for _, f := range findings {
+		if f.Rule != RuleClassify {
+			continue
+		}
+		rel := filepath.ToSlash(f.Pos.Filename)
+		if i := strings.Index(rel, "testdata/mod/"); i >= 0 {
+			rel = rel[i+len("testdata/mod/"):]
+		}
+		got = append(got, fmt.Sprintf("%s:%d:%s", rel, f.Pos.Line, f.Rule))
+	}
+	return got
+}
+
+// TestClassify pins the package-classification rule: with a host-side
+// list configured, an internal/ package claimed by neither list (or by
+// both) fires at its package clause; a fully classified module, and a
+// run without a host-side list (the opt-out), stay silent.
+func TestClassify(t *testing.T) {
+	if got := classifyFindings(t, []string{"det"}, []string{"internal/report"}); len(got) != 0 {
+		t.Errorf("classified module must be silent, got %v", got)
+	}
+	if got := classifyFindings(t, []string{"det"}, nil); len(got) != 0 {
+		t.Errorf("nil host-side list must disable the rule, got %v", got)
+	}
+	want := []string{"internal/report/report.go:3:classify"}
+	if got := classifyFindings(t, []string{"det"}, []string{}); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("unclassified package: got %v want %v", got, want)
+	}
+	both := classifyFindings(t, []string{"det", "internal/report"}, []string{"internal/report"})
+	if strings.Join(both, ",") != strings.Join(want, ",") {
+		t.Errorf("doubly classified package: got %v want %v", both, want)
+	}
+}
+
+// TestDefaultListsDisjoint guards the shipped configuration itself:
+// the default deterministic and host-side lists must not overlap.
+func TestDefaultListsDisjoint(t *testing.T) {
+	host := map[string]bool{}
+	for _, p := range DefaultHostSide() {
+		host[p] = true
+	}
+	for _, p := range DefaultDeterministic() {
+		if host[p] {
+			t.Errorf("package %s is in both default lists", p)
+		}
+	}
+}

@@ -2,9 +2,8 @@ package repro
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -15,6 +14,11 @@ import (
 // description of the workload. Restoring a snapshot into a
 // co-simulation built from a different configuration fails with
 // snapshot.ErrConfigMismatch instead of resuming a subtly wrong run.
+//
+// The checkpoint mechanism itself (encoding, atomic file I/O, chunked
+// resumable running) lives in internal/ckpt and is shared with the
+// cosimd session server; this function owns the digest *policy* for
+// the public Config type.
 func ConfigDigest(cfg Config, mode Mode, workloadDesc string) uint64 {
 	// Activity gating changes simulator effort, never simulated state
 	// (asserted by the gating bit-identity tests), so a checkpoint
@@ -30,64 +34,26 @@ func ConfigDigest(cfg Config, mode Mode, workloadDesc string) uint64 {
 // coordinator, system simulator, and network backend with in-flight
 // packets — into a self-validating checkpoint blob.
 func EncodeCheckpoint(cs *core.Cosim, digest uint64) ([]byte, error) {
-	e := snapshot.NewEncoder(digest)
-	if err := cs.SnapshotTo(e); err != nil {
-		return nil, err
-	}
-	blob := e.Finish()
-	cs.ObserveSnapshotBytes(len(blob))
-	return blob, nil
+	return ckpt.Encode(cs, digest)
 }
 
 // DecodeCheckpoint restores a checkpoint blob into a co-simulation
 // built with the same configuration, mode, and workload that produced
 // it (the digest enforces this).
 func DecodeCheckpoint(blob []byte, cs *core.Cosim, digest uint64) error {
-	d, err := snapshot.NewDecoder(blob, digest)
-	if err != nil {
-		return err
-	}
-	if err := cs.RestoreFrom(d); err != nil {
-		return err
-	}
-	return d.Finish()
+	return ckpt.Decode(blob, cs, digest)
 }
 
 // SaveCheckpoint writes the co-simulation state to path atomically
 // (temp file in the same directory, then rename), so an interrupted
 // save never corrupts an existing checkpoint.
 func SaveCheckpoint(path string, cs *core.Cosim, digest uint64) error {
-	blob, err := EncodeCheckpoint(cs, digest)
-	if err != nil {
-		return err
-	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return ckpt.Save(path, cs, digest)
 }
 
 // LoadCheckpoint restores the co-simulation from a checkpoint file.
 func LoadCheckpoint(path string, cs *core.Cosim, digest uint64) error {
-	blob, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	if err := DecodeCheckpoint(blob, cs, digest); err != nil {
-		return fmt.Errorf("restore %s: %w", path, err)
-	}
-	return nil
+	return ckpt.Load(path, cs, digest)
 }
 
 // RunResumable runs the co-simulation to the cycle limit with
@@ -97,30 +63,5 @@ func LoadCheckpoint(path string, cs *core.Cosim, digest uint64) error {
 // state is bit-identical to the saved one, an interrupted and resumed
 // run reports the same statistics as an uninterrupted one.
 func RunResumable(cs *core.Cosim, limit sim.Cycle, path string, every sim.Cycle, digest uint64) (core.Result, error) {
-	if path != "" {
-		if _, err := os.Stat(path); err == nil {
-			if err := LoadCheckpoint(path, cs, digest); err != nil {
-				return core.Result{}, err
-			}
-		} else if !os.IsNotExist(err) {
-			return core.Result{}, err
-		}
-	}
-	if every <= 0 || path == "" {
-		return cs.Run(limit), nil
-	}
-	var res core.Result
-	for {
-		next := cs.Cycle() + every
-		if next > limit {
-			next = limit
-		}
-		res = cs.Run(next)
-		if res.Finished || res.Stalled || cs.Cycle() >= limit {
-			return res, nil
-		}
-		if err := SaveCheckpoint(path, cs, digest); err != nil {
-			return res, err
-		}
-	}
+	return ckpt.RunResumable(cs, limit, path, every, digest)
 }

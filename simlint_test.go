@@ -16,6 +16,7 @@ func TestSimlint(t *testing.T) {
 	findings, err := simlint.Run(simlint.Config{
 		Root:          ".",
 		Deterministic: simlint.DefaultDeterministic(),
+		HostSide:      simlint.DefaultHostSide(),
 	})
 	if err != nil {
 		t.Fatalf("simlint failed to load module: %v", err)
