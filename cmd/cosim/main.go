@@ -16,6 +16,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -52,6 +53,7 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		progress  = flag.Duration("progress", 0, "print a progress heartbeat (sim-cycles/sec, ETA) to stderr at this interval (0 = off)")
 		noFF      = flag.Bool("no-fastforward", false, "disable NoC activity gating and idle-cycle fast-forward (exhaustive per-cycle sweep; bit-identical results, for bisecting)")
+		forkSweep = flag.Int("fork-sweep", 0, "warm-fork sweep: simulate this percentage of the workload once (first -mode backend), then fork the warmed system into every -mode instead of repeating the warmup per mode (0 = off)")
 	)
 	flag.Parse()
 	if *ckptPath == "" && (*ckptEvery > 0 || *resume) {
@@ -59,6 +61,12 @@ func main() {
 	}
 	if *ckptPath != "" && *saveTrace != "" {
 		fatal(fmt.Errorf("-checkpoint cannot be combined with -savetrace"))
+	}
+	if *forkSweep < 0 || *forkSweep >= 100 {
+		fatal(fmt.Errorf("-fork-sweep %d: want a warmup percentage in 0..99", *forkSweep))
+	}
+	if *forkSweep > 0 && (*ckptPath != "" || *saveTrace != "") {
+		fatal(fmt.Errorf("-fork-sweep cannot be combined with -checkpoint or -savetrace"))
 	}
 	wantMetricsTable, wantCalibTable := false, false
 	for _, part := range strings.Split(*obsTable, ",") {
@@ -91,28 +99,70 @@ func main() {
 	cfg.ComponentWorkers = *compWork
 	cfg.DisableGating = *noFF
 
-	var results []core.Result
-	allFinished := true
-	for mi, m := range strings.Split(*mode, ",") {
-		m = strings.TrimSpace(m)
-		// Each mode reruns the identical deterministic workload.
+	// -fork-sweep: one shared warmup, forked into every mode. The warm
+	// simulation retires the first -fork-sweep percent of the per-core
+	// op budget on the first mode's backend, drains the network
+	// (in-flight packets cannot be transplanted across backends), and
+	// every mode — including the first — then forks the warmed system
+	// instead of re-simulating the warmup.
+	var warm *core.Cosim
+	if *forkSweep > 0 {
+		first := strings.TrimSpace(strings.Split(*mode, ",")[0])
 		wl, err := workload.ByName(*wlName, *tiles, *ops, *seed)
 		if err != nil {
 			fatal(err)
 		}
+		warm, err = repro.BuildCosim(cfg, repro.Mode(first), wl)
+		if err != nil {
+			fatal(err)
+		}
+		warmOps := uint64(*tiles) * uint64(*ops) * uint64(*forkSweep) / 100
+		start := time.Now() //simlint:allow wallclock reporting host warmup time, not simulated state
+		for warm.Sys.Retired() < warmOps && !warm.Sys.Done() && warm.Cycle() < sim.Cycle(*limit) {
+			warm.Step()
+		}
+		if !warm.RunToQuiescence(warm.Cycle(), sim.Cycle(*limit)) || warm.Sys.Done() {
+			fatal(fmt.Errorf("-fork-sweep %d%%: warmup consumed the whole run", *forkSweep))
+		}
+		defer warm.Close()
+		warmWall := time.Since(start).Round(time.Millisecond) //simlint:allow wallclock reporting host warmup time, not simulated state
+		fmt.Printf("fork-sweep: warmed %s once to cycle %d (%d ops retired, %s); forking each mode\n",
+			first, warm.Cycle(), warm.Sys.Retired(), warmWall)
+	}
+
+	var results []core.Result
+	allFinished := true
+	for mi, m := range strings.Split(*mode, ",") {
+		m = strings.TrimSpace(m)
 		var cs *core.Cosim
 		var rec *core.Recorder
-		if *saveTrace != "" && mi == 0 {
-			backend, err := repro.BuildBackend(cfg, repro.Mode(m))
-			if err != nil {
-				fatal(err)
+		var err error
+		switch {
+		case *saveTrace != "" && mi == 0:
+			// Each mode reruns the identical deterministic workload.
+			wl, err2 := workload.ByName(*wlName, *tiles, *ops, *seed)
+			if err2 != nil {
+				fatal(err2)
+			}
+			backend, err2 := repro.BuildBackend(cfg, repro.Mode(m))
+			if err2 != nil {
+				fatal(err2)
 			}
 			rec = core.NewRecorder(backend)
 			cs, err = core.Build(cfg.System, wl, rec, cfg.Quantum)
 			if err != nil {
 				fatal(err)
 			}
-		} else {
+		case warm != nil:
+			cs, err = repro.ForkCosim(warm, cfg, repro.Mode(m))
+			if err != nil {
+				fatal(err)
+			}
+		default:
+			wl, err2 := workload.ByName(*wlName, *tiles, *ops, *seed)
+			if err2 != nil {
+				fatal(err2)
+			}
 			cs, err = repro.BuildCosim(cfg, repro.Mode(m), wl)
 			if err != nil {
 				fatal(err)

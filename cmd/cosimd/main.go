@@ -38,6 +38,7 @@ func main() {
 		workers  = flag.Int("workers", 4, "worker-pool size")
 		slice    = flag.Uint64("slice", 4096, "scheduling slice in simulated cycles")
 		resident = flag.Int("max-resident", 64, "max in-memory sessions before LRU eviction to checkpoints")
+		maxWarm  = flag.Int("max-warm", 0, "max evicted sessions kept as in-memory warm forks before spilling to checkpoint files (0 = max-resident, negative = disable the warm tier)")
 		stateDir = flag.String("state", "", "checkpoint/manifest directory (default: fresh temp dir)")
 		aging    = flag.Uint64("aging", 0, "scheduler aging credit in cycles per tick (0 = one slice)")
 		quiet    = flag.Bool("quiet", false, "suppress server event log")
@@ -49,6 +50,7 @@ func main() {
 		Workers:     *workers,
 		SliceCycles: *slice,
 		MaxResident: *resident,
+		MaxWarm:     *maxWarm,
 		StateDir:    *stateDir,
 		Aging:       *aging,
 	}

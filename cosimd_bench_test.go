@@ -65,6 +65,49 @@ func BenchmarkCosimdSession(b *testing.B) {
 	}
 }
 
+// BenchmarkCosimdEvictionChurn measures a session's end-to-end cost
+// under constant eviction pressure (MaxResident far below the pending
+// population, so nearly every slice dispatch pays a park plus a
+// fault-in). The warm variant parks live forks in memory with a warm
+// tier deep enough that nothing spills — the fork tier's hot path; the
+// disk variant (MaxWarm < 0) is the serialize-to-checkpoint round trip
+// it replaces.
+func BenchmarkCosimdEvictionChurn(b *testing.B) {
+	for _, tier := range []struct {
+		name    string
+		maxWarm int
+	}{{"warm", 1 << 20}, {"disk", -1}} {
+		b.Run(tier.name, func(b *testing.B) {
+			srv, err := cosimd.NewServer(cosimd.Options{
+				Workers: 2, SliceCycles: 512, MaxResident: 3, MaxWarm: tier.maxWarm,
+				StateDir: b.TempDir(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := srv.Submit(cosimd.SubmitRequest{
+					Workload: "fft", Tiles: 4, Ops: 40, Seed: uint64(i + 1),
+					Mode: "reciprocal", Limit: 200_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			srv.Wait()
+			b.StopTimer()
+			for _, st := range srv.Sessions() {
+				if st.State != cosimd.StateDone {
+					b.Fatalf("session %s: %+v", st.ID, st)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCosimdCacheHit measures the digest-keyed fast path: the
 // same config resubmitted is served from the cache without burning a
 // worker or a simulated cycle.

@@ -1,0 +1,66 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BenchmarkForkVsSnapshot measures the in-memory fork tier against
+// the serialize round trip BenchmarkSnapshotRoundTrip prices: fork is
+// one full Cosim.Fork (build a twin, deep-copy state), restore is one
+// Cosim.RestoreFork into an existing twin — the hot-path operation
+// cosimd evictions and rollback replay. Run with -benchmem; the
+// acceptance bar is >=50x faster than the round trip at 256 tiles.
+func BenchmarkForkVsSnapshot(b *testing.B) {
+	for _, tiles := range []int{64, 256} {
+		cfg := DefaultConfig(tiles)
+		build := func() *core.Cosim {
+			cs, err := BuildCosim(cfg, ModeReciprocal, workload.NewFFT(tiles, 200, 42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return cs
+		}
+		src := build()
+		defer src.Net.Close()
+		// The same mid-run steady state the snapshot benchmark
+		// measures, so the two tiers price the same amount of state.
+		if res := src.Run(sim.Cycle(4 * cfg.Quantum * 16)); res.Finished {
+			b.Fatal("workload finished before the measurement point; benchmark state is empty")
+		}
+
+		b.Run(fmt.Sprintf("tiles=%d/fork", tiles), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f, err := src.Fork()
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Release parks the shell in the family pool, so the
+				// steady state being measured is fork churn (one
+				// RestoreFork), not repeated twin construction.
+				f.Release()
+			}
+		})
+
+		fork, err := src.Fork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fork.Close()
+		dst := build()
+		defer dst.Net.Close()
+		b.Run(fmt.Sprintf("tiles=%d/restore", tiles), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := dst.RestoreFork(fork); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

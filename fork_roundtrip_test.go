@@ -1,0 +1,306 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// These tests pin the second tier of the state capture contract:
+// in-memory Fork/RestoreFork must be exactly as trustworthy as the
+// serialized envelope it bypasses. The case matrix is shared with the
+// checkpoint round-trip tests: every co-simulation mode, both
+// detailed router engines, and every memory model.
+
+// TestForkRunBitIdentical is the fork tier's core guarantee: running
+// to cycle T, forking, and finishing the fork produces statistics
+// bit-identical to an uninterrupted run — and the forked parent,
+// finished afterwards, converges identically too (forking must not
+// perturb the parent).
+func TestForkRunBitIdentical(t *testing.T) {
+	for _, c := range checkpointCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			ref := buildCkptCosim(t, c, 42)
+			want := ckptFingerprint(t, ref, ref.Run(ckptLimit))
+
+			parent := buildCkptCosim(t, c, 42)
+			if res := parent.Run(ckptAt); res.Finished {
+				t.Fatalf("workload finished before the fork point; fork test is vacuous: %+v", res)
+			}
+			child, err := parent.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer child.Close()
+
+			if got := ckptFingerprint(t, child, child.Run(ckptLimit)); got != want {
+				t.Errorf("forked run diverged from uninterrupted run\nwant %s\ngot  %s", want, got)
+			}
+			if got := ckptFingerprint(t, parent, parent.Run(ckptLimit)); got != want {
+				t.Errorf("parent diverged after being forked\nwant %s\ngot  %s", want, got)
+			}
+		})
+	}
+}
+
+// TestForkEncodeByteIdentical pins the two tiers together: a fork
+// must serialize to exactly the bytes the parent's direct SnapshotTo
+// produces, and restoring a fork into a fresh co-simulation must
+// re-encode to the same bytes again.
+func TestForkEncodeByteIdentical(t *testing.T) {
+	for _, c := range checkpointCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			parent := buildCkptCosim(t, c, 42)
+			parent.Run(ckptAt)
+			digest := ConfigDigest(ckptConfig(c), c.mode, "fft-16-250-42")
+
+			child, err := parent.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer child.Close()
+
+			direct, err := EncodeCheckpoint(parent, digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forked, err := EncodeCheckpoint(child, digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(forked) != string(direct) {
+				t.Fatal("fork-then-encode differs from direct SnapshotTo")
+			}
+
+			restored := buildCkptCosim(t, c, 42)
+			if err := restored.RestoreFork(child); err != nil {
+				t.Fatal(err)
+			}
+			again, err := EncodeCheckpoint(restored, digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(again) != string(direct) {
+				t.Error("RestoreFork-then-encode differs from direct SnapshotTo")
+			}
+		})
+	}
+}
+
+// TestForkDivergenceIndependent interleaves parent and child stepping
+// after the fork: whatever order the two advance in, each must still
+// land on the uninterrupted run's statistics, proving the clone
+// shares no mutable state with its parent.
+func TestForkDivergenceIndependent(t *testing.T) {
+	for _, c := range checkpointCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			ref := buildCkptCosim(t, c, 42)
+			want := ckptFingerprint(t, ref, ref.Run(ckptLimit))
+
+			parent := buildCkptCosim(t, c, 42)
+			parent.Run(ckptAt)
+			child, err := parent.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer child.Close()
+
+			// Child sprints ahead, then the two alternate unevenly.
+			for i := 0; i < 64 && !child.Sys.Done(); i++ {
+				child.Step()
+			}
+			for !parent.Sys.Done() || !child.Sys.Done() {
+				for i := 0; i < 3 && !parent.Sys.Done(); i++ {
+					parent.Step()
+				}
+				if !child.Sys.Done() {
+					child.Step()
+				}
+				if parent.Cycle() > ckptLimit || child.Cycle() > ckptLimit {
+					t.Fatal("interleaved runs did not finish within the cycle limit")
+				}
+			}
+			if got := ckptFingerprint(t, parent, parent.Run(ckptLimit)); got != want {
+				t.Errorf("parent diverged under interleaved stepping\nwant %s\ngot  %s", want, got)
+			}
+			if got := ckptFingerprint(t, child, child.Run(ckptLimit)); got != want {
+				t.Errorf("child diverged under interleaved stepping\nwant %s\ngot  %s", want, got)
+			}
+		})
+	}
+}
+
+// TestForkConcurrentAdvance runs parent and fork to completion on
+// separate goroutines. A fork shares only immutable tables with its
+// parent, so under -race this must be silent; any report marks state
+// the fork failed to deep-copy.
+func TestForkConcurrentAdvance(t *testing.T) {
+	for _, c := range checkpointCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			ref := buildCkptCosim(t, c, 42)
+			want := ckptFingerprint(t, ref, ref.Run(ckptLimit))
+
+			parent := buildCkptCosim(t, c, 42)
+			parent.Run(ckptAt)
+			child, err := parent.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer child.Close()
+
+			var wg sync.WaitGroup
+			results := make([]core.Result, 2)
+			for i, cs := range []*core.Cosim{parent, child} {
+				i, cs := i, cs
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					results[i] = cs.Run(ckptLimit)
+				}()
+			}
+			wg.Wait()
+			if got := ckptFingerprint(t, parent, results[0]); got != want {
+				t.Errorf("parent diverged under concurrent advance\nwant %s\ngot  %s", want, got)
+			}
+			if got := ckptFingerprint(t, child, results[1]); got != want {
+				t.Errorf("child diverged under concurrent advance\nwant %s\ngot  %s", want, got)
+			}
+		})
+	}
+}
+
+// TestRollback proves the in-memory rollback primitive: saving a
+// restore point mid-run and rolling back to it (repeatedly) replays
+// the remainder of the run bit-identically.
+func TestRollback(t *testing.T) {
+	for _, c := range []ckptCase{
+		{"reciprocal", ModeReciprocal, "", ""},
+		{"calibrated", ModeCalibrated, "", ""},
+		{"reciprocal/deflect", ModeReciprocal, "deflect", ""},
+	} {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cs := buildCkptCosim(t, c, 42)
+			if _, ok := cs.RollbackPoint(); ok {
+				t.Fatal("fresh co-simulation reports a rollback point")
+			}
+			if err := cs.Rollback(); err == nil {
+				t.Fatal("rollback without a saved point succeeded")
+			}
+
+			cs.Run(ckptAt)
+			if err := cs.SaveRollback(); err != nil {
+				t.Fatal(err)
+			}
+			at, ok := cs.RollbackPoint()
+			if !ok || at != cs.Cycle() {
+				t.Fatalf("rollback point at %d (ok=%v), want %d", at, ok, cs.Cycle())
+			}
+
+			want := ckptFingerprint(t, cs, cs.Run(ckptLimit))
+			for i := 0; i < 2; i++ {
+				if err := cs.Rollback(); err != nil {
+					t.Fatal(err)
+				}
+				if got := cs.Cycle(); got != at {
+					t.Fatalf("rollback landed at cycle %d, want %d", got, at)
+				}
+				if got := ckptFingerprint(t, cs, cs.Run(ckptLimit)); got != want {
+					t.Errorf("replay %d diverged\nwant %s\ngot  %s", i+1, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestForkGoldenEncode pins the fork tier against the golden
+// checkpoint: forking the restored golden state must re-encode to
+// the same bytes as the restored state's direct SnapshotTo.
+func TestForkGoldenEncode(t *testing.T) {
+	c := ckptCase{"reciprocal", ModeReciprocal, "", ""}
+	digest := ConfigDigest(ckptConfig(c), c.mode, "fft-16-250-42")
+	blob, err := os.ReadFile(filepath.Join("testdata", "reciprocal-16t.ckpt"))
+	if err != nil {
+		t.Fatalf("missing golden checkpoint: %v", err)
+	}
+	cs := buildCkptCosim(t, c, 42)
+	if err := DecodeCheckpoint(blob, cs, digest); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := EncodeCheckpoint(cs, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := cs.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Close()
+	forked, err := EncodeCheckpoint(child, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(forked) != string(direct) {
+		t.Error("fork of the restored golden state encodes differently than direct SnapshotTo")
+	}
+}
+
+// TestForkInto proves the warm-fork transplant: once the network is
+// quiescent, the warmed system state carries onto a freshly built
+// backend and the pair runs on independently.
+func TestForkInto(t *testing.T) {
+	c := ckptCase{"reciprocal", ModeReciprocal, "", ""}
+	cfg := ckptConfig(c)
+	parent := buildCkptCosim(t, c, 42)
+	parent.Run(ckptAt)
+	if !parent.RunToQuiescence(parent.Cycle(), ckptLimit) {
+		t.Fatal("network did not quiesce")
+	}
+
+	// A differently-structured backend: more VCs and deeper buffers.
+	alt := cfg
+	alt.Router.VCsPerVNet *= 2
+	alt.Router.BufDepth *= 2
+	backend, err := BuildBackend(alt, c.mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.ForkInto(backend, cfg.Quantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Close()
+	if child.Cycle() != parent.Cycle() {
+		t.Fatalf("transplant starts at cycle %d, want %d", child.Cycle(), parent.Cycle())
+	}
+
+	res := child.Run(ckptLimit)
+	if !res.Finished {
+		t.Fatalf("transplanted run did not finish: %+v", res)
+	}
+	if res2 := parent.Run(ckptLimit); !res2.Finished {
+		t.Fatalf("parent did not finish after transplant: %+v", res2)
+	}
+
+	// Transplanting into a mid-flight network must refuse.
+	busy := buildCkptCosim(t, c, 42)
+	busy.Run(ckptAt)
+	if busy.Net.InFlight() == 0 {
+		t.Skip("network drained at the save point; refusal case is vacuous")
+	}
+	backend2, err := BuildBackend(alt, c.mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend2.Close()
+	if _, err := busy.ForkInto(backend2, cfg.Quantum); err == nil {
+		t.Error("ForkInto with packets in flight succeeded")
+	}
+}

@@ -57,6 +57,14 @@ type Cosim struct {
 	// every packet back after its delivery is applied.
 	recycler packetRecycler //simlint:derived re-resolved from the backend's capabilities by New
 
+	// rollback is the in-memory restore point taken by SaveRollback; a
+	// private fork, not part of the simulated state.
+	rollback *Cosim //simlint:derived host-side rollback point, re-taken per run, never simulated state
+
+	// pool caches released fork shells, shared by pointer across the
+	// whole fork family (see forkPool).
+	pool *forkPool //simlint:derived family-wide shell cache, never simulated state
+
 	cycle       sim.Cycle
 	skewSum     uint64
 	skewMax     sim.Cycle
@@ -127,8 +135,18 @@ func (c *Cosim) Components() []Component {
 	return out
 }
 
-// Close releases every registered component and the stepper.
+// Close releases every registered component and the stepper, along
+// with the rollback point and any idle shells in the family fork
+// pool.
 func (c *Cosim) Close() {
+	if c.rollback != nil {
+		r := c.rollback
+		c.rollback = nil
+		r.Close()
+	}
+	if c.pool != nil {
+		c.pool.drain()
+	}
 	for _, comp := range c.comps {
 		comp.Close()
 	}

@@ -85,7 +85,7 @@ type State string
 const (
 	StateReady    State = "ready"    // runnable, waiting for a worker
 	StateRunning  State = "running"  // a worker is stepping a slice
-	StateEvicting State = "evicting" // being checkpointed to disk
+	StateEvicting State = "evicting" // being parked: warm-forked or checkpointed
 	StateDone     State = "done"     // result available
 	StateFailed   State = "failed"   // build/restore error; see Error
 )
@@ -201,17 +201,25 @@ type TenantStats struct {
 
 // ServerStats is the /api/v1/stats payload.
 type ServerStats struct {
-	Sessions  int            `json:"sessions"`
-	ByState   map[State]int  `json:"by_state"`
-	Resident  int            `json:"resident"`
-	Workers   int            `json:"workers"`
-	Slice     uint64         `json:"slice_cycles"`
-	Evictions uint64         `json:"evictions"`
-	Restores  uint64         `json:"restores"`
-	CacheHits uint64         `json:"cache_hits"`
-	CacheMiss uint64         `json:"cache_misses"`
-	Tenants   []TenantStats  `json:"tenants"`
-	Fairness  FairnessReport `json:"fairness"`
+	Sessions int           `json:"sessions"`
+	ByState  map[State]int `json:"by_state"`
+	Resident int           `json:"resident"`
+	// Warm counts evicted sessions parked in the in-memory warm tier
+	// (live forks, no checkpoint file).
+	Warm      int    `json:"warm"`
+	Workers   int    `json:"workers"`
+	Slice     uint64 `json:"slice_cycles"`
+	Evictions uint64 `json:"evictions"`
+	Restores  uint64 `json:"restores"`
+	// WarmRestores counts the subset of Restores served by adopting a
+	// warm clone (no rebuild, no decode); Spills counts warm clones
+	// written to checkpoint files under memory pressure.
+	WarmRestores uint64         `json:"warm_restores"`
+	Spills       uint64         `json:"spills"`
+	CacheHits    uint64         `json:"cache_hits"`
+	CacheMiss    uint64         `json:"cache_misses"`
+	Tenants      []TenantStats  `json:"tenants"`
+	Fairness     FairnessReport `json:"fairness"`
 }
 
 // Fingerprint summarizes every externally observable outcome of a

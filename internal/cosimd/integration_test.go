@@ -30,10 +30,14 @@ func TestIntegrationManySessions(t *testing.T) {
 		sessions    = tenants * perTenant
 		workers     = 8
 		maxResident = 24
+		maxWarm     = 8
 		slice       = 512
 	)
+	// maxWarm far below the eviction churn keeps BOTH capture tiers
+	// under pressure: evictions park in-memory forks, and the warm
+	// tier's own overflow exercises the spill-to-checkpoint path.
 	srv := newTestServer(t, Options{
-		Workers: workers, MaxResident: maxResident, SliceCycles: slice,
+		Workers: workers, MaxResident: maxResident, MaxWarm: maxWarm, SliceCycles: slice,
 	})
 
 	reqs := make([]SubmitRequest, 0, sessions)
@@ -62,8 +66,12 @@ func TestIntegrationManySessions(t *testing.T) {
 		t.Fatalf("no eviction pressure (evictions=%d restores=%d) — the run proved nothing",
 			stats.Evictions, stats.Restores)
 	}
-	t.Logf("pool: %d sessions, %d evictions, %d restores, resident peak ≤ %d",
-		sessions, stats.Evictions, stats.Restores, maxResident)
+	if stats.WarmRestores == 0 || stats.Spills == 0 {
+		t.Fatalf("both capture tiers must be exercised (warm restores=%d spills=%d)",
+			stats.WarmRestores, stats.Spills)
+	}
+	t.Logf("pool: %d sessions, %d evictions, %d restores (%d warm), %d spills, resident peak ≤ %d",
+		sessions, stats.Evictions, stats.Restores, stats.WarmRestores, stats.Spills, maxResident)
 
 	// (a) Fingerprints: every evicted session must match a direct,
 	// never-interrupted run. Direct runs are the expensive half, so

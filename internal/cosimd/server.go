@@ -9,13 +9,16 @@
 //     responsive however many sessions are live.
 //   - A fair-share scheduler (Sched) allocates slices by *simulated*
 //     cycles consumed per tenant, with priority aging — see sched.go.
-//   - LRU-idle sessions are evicted to checkpoint files
-//     (internal/ckpt) when the resident population exceeds
-//     Options.MaxResident, and are transparently faulted back in at
-//     their next dispatch. Bit-identical resume (the checkpoint
-//     subsystem's tested invariant) is what makes eviction invisible:
-//     an evicted-and-resumed session's fingerprint equals an
-//     uninterrupted run's.
+//   - LRU-idle sessions are evicted when the resident population
+//     exceeds Options.MaxResident, and are transparently faulted back
+//     in at their next dispatch. Eviction is two-tier, mirroring the
+//     state-capture contract: the victim's live state is parked in
+//     memory as a fork (microseconds — internal/core's fork tier) and
+//     spills to a checkpoint file (internal/ckpt) only when the warm
+//     tier itself overflows Options.MaxWarm. Bit-identical resume —
+//     the tested invariant of both tiers — is what makes eviction
+//     invisible: an evicted-and-resumed session's fingerprint equals
+//     an uninterrupted run's.
 //   - Completed results are cached by config digest: resubmitting an
 //     identical config is served byte-identically from the cache
 //     without consuming a worker or a single simulated cycle.
@@ -54,6 +57,16 @@ type Options struct {
 	// sessions are evicted to checkpoints (default 64; minimum
 	// Workers+1 is enforced so running sessions always fit).
 	MaxResident int
+	// MaxWarm bounds the warm tier: evicted sessions parked as live
+	// in-memory forks (internal/core's fork tier) instead of
+	// checkpoint files. A warm fault-in adopts the parked clone
+	// directly — no rebuild, no decode — and is bit-identical to an
+	// uninterrupted run (the fork tier's tested invariant). When the
+	// tier overflows, its LRU clone spills to a ckpt file — the only
+	// time eviction still pays for serialization. 0 defaults to
+	// MaxResident; negative disables the tier (every eviction
+	// serializes to disk).
+	MaxWarm int
 	// StateDir holds checkpoints and the shutdown manifest (default: a
 	// fresh temp dir).
 	StateDir string
@@ -80,6 +93,11 @@ func (o *Options) normalize() {
 	if o.MaxResident < o.Workers+1 {
 		o.MaxResident = o.Workers + 1
 	}
+	if o.MaxWarm == 0 {
+		o.MaxWarm = o.MaxResident
+	} else if o.MaxWarm < 0 {
+		o.MaxWarm = 0
+	}
 	if o.Aging == 0 {
 		o.Aging = o.SliceCycles
 	}
@@ -101,6 +119,13 @@ type session struct {
 	hasCkpt  bool
 	cs       *core.Cosim
 	ob       *obs.Observer
+
+	// warm is the parked live clone of an evicted session (nil when
+	// none); spilling marks a worker mid-write of that clone to disk,
+	// so a concurrent fault-in waits instead of rebuilding from
+	// scratch.
+	warm     *core.Cosim
+	spilling bool
 
 	cycle   uint64
 	cycles  uint64
@@ -137,14 +162,17 @@ type Server struct {
 	sched    *Sched
 	cache    map[uint64]*cacheEntry
 
-	nextSeq   uint64
-	resident  int
-	evictions uint64
-	restores  uint64
-	cacheHits uint64
-	cacheMiss uint64
-	closed    bool
-	drained   bool
+	nextSeq      uint64
+	resident     int
+	warmCount    int
+	evictions    uint64
+	restores     uint64
+	warmRestores uint64
+	spills       uint64
+	cacheHits    uint64
+	cacheMiss    uint64
+	closed       bool
+	drained      bool
 
 	wg sync.WaitGroup
 }
@@ -317,17 +345,20 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := ServerStats{
-		Sessions:  len(s.order),
-		ByState:   map[State]int{},
-		Resident:  s.resident,
-		Workers:   s.opts.Workers,
-		Slice:     s.opts.SliceCycles,
-		Evictions: s.evictions,
-		Restores:  s.restores,
-		CacheHits: s.cacheHits,
-		CacheMiss: s.cacheMiss,
-		Tenants:   s.sched.Tenants(),
-		Fairness:  s.sched.Fairness(),
+		Sessions:     len(s.order),
+		ByState:      map[State]int{},
+		Resident:     s.resident,
+		Warm:         s.warmCount,
+		Workers:      s.opts.Workers,
+		Slice:        s.opts.SliceCycles,
+		Evictions:    s.evictions,
+		Restores:     s.restores,
+		WarmRestores: s.warmRestores,
+		Spills:       s.spills,
+		CacheHits:    s.cacheHits,
+		CacheMiss:    s.cacheMiss,
+		Tenants:      s.sched.Tenants(),
+		Fairness:     s.sched.Fairness(),
 	}
 	for _, sess := range s.order {
 		st.ByState[sess.state]++
@@ -469,10 +500,34 @@ func (s *Server) finishSlice(sess *session, cycle, retired, consumed uint64, env
 	}
 }
 
-// faultIn (re)builds a session's co-simulation on the calling worker:
-// first dispatch builds from the request; later dispatches additionally
-// restore the eviction checkpoint, continuing bit-identically.
+// faultIn makes a session's co-simulation live on the calling worker.
+// A warm-parked session adopts its in-memory clone directly — no
+// rebuild, no decode. Otherwise the worker builds from the request;
+// dispatches after a disk eviction additionally restore the
+// checkpoint. All three paths continue bit-identically.
 func (s *Server) faultIn(sess *session) error {
+	s.mu.Lock()
+	for sess.spilling {
+		s.cond.Wait()
+	}
+	if w := sess.warm; w != nil {
+		sess.warm = nil
+		s.warmCount--
+		sess.cs = w
+		sess.resident = true
+		s.resident++
+		sess.restores++
+		s.restores++
+		s.warmRestores++
+		s.mu.Unlock()
+		if sess.req.Metrics {
+			sess.ob = obs.New(obs.Options{Metrics: true, Calib: true})
+			w.SetObserver(sess.ob)
+		}
+		s.logf("session %s warm-restored at cycle %d", sess.id, w.Cycle())
+		return nil
+	}
+	s.mu.Unlock()
 	cs, err := s.opts.Builder.Build(sess.req)
 	if err != nil {
 		return err
@@ -503,9 +558,12 @@ func (s *Server) faultIn(sess *session) error {
 }
 
 // evictOverflowLocked evicts LRU-idle ready sessions until the
-// resident population fits MaxResident. Called with the lock held; the
-// saves themselves run unlocked on the calling worker, with the victim
-// parked in StateEvicting so no other worker can dispatch it.
+// resident population fits MaxResident. With a warm tier, eviction
+// parks the live state in memory (microseconds); without one — or
+// when the backend cannot fork — it serializes to a checkpoint file.
+// Called with the lock held; forks and saves run unlocked on the
+// calling worker, with the victim parked in StateEvicting so no other
+// worker can dispatch it.
 func (s *Server) evictOverflowLocked() {
 	for s.resident > s.opts.MaxResident {
 		victim := s.lruVictimLocked()
@@ -514,6 +572,9 @@ func (s *Server) evictOverflowLocked() {
 		}
 		victim.state = StateEvicting
 		s.sched.Block(victim.entry)
+		if s.opts.MaxWarm > 0 && s.parkWarmLocked(victim) {
+			continue
+		}
 		s.mu.Unlock()
 		err := ckpt.Save(s.ckptPath(victim.id), victim.cs, victim.digest)
 		if err == nil {
@@ -539,6 +600,91 @@ func (s *Server) evictOverflowLocked() {
 		s.sched.Ready(victim.entry)
 		s.cond.Broadcast()
 	}
+}
+
+// parkWarmLocked moves victim's live simulation into the warm tier:
+// the worker forks it (microseconds) and closes the original, so the
+// parked clone carries no engine worker pools. Returns false — victim
+// untouched, still StateEvicting and blocked — when the backend
+// cannot fork; the caller falls back to the checkpoint path.
+func (s *Server) parkWarmLocked(victim *session) bool {
+	cs := victim.cs
+	s.mu.Unlock()
+	clone, err := cs.Fork()
+	if err == nil {
+		cs.Close()
+	}
+	s.mu.Lock()
+	if err != nil {
+		s.logf("warm-park %s falling back to checkpoint: %v", victim.id, err)
+		return false
+	}
+	victim.cs, victim.ob = nil, nil
+	victim.warm = clone
+	victim.resident = false
+	victim.evictions++
+	s.evictions++
+	s.warmCount++
+	s.resident--
+	victim.state = StateReady
+	s.sched.Ready(victim.entry)
+	s.cond.Broadcast()
+	s.spillOverflowLocked()
+	return true
+}
+
+// spillOverflowLocked writes the warm tier's LRU clones to checkpoint
+// files until the tier fits MaxWarm — the memory-pressure escape
+// hatch, and the only point where warm eviction still serializes.
+// Saves run unlocked with the victim flagged spilling, so a
+// concurrent fault-in waits for the checkpoint instead of rebuilding
+// from scratch.
+func (s *Server) spillOverflowLocked() {
+	for s.warmCount > s.opts.MaxWarm {
+		old := s.warmVictimLocked()
+		if old == nil {
+			return // every warm session is being dispatched right now
+		}
+		w := old.warm
+		old.warm = nil
+		old.spilling = true
+		s.warmCount--
+		s.mu.Unlock()
+		err := ckpt.Save(s.ckptPath(old.id), w, old.digest)
+		if err == nil {
+			w.Close()
+		}
+		s.mu.Lock()
+		old.spilling = false
+		if err != nil {
+			// Keep the clone warm; spilling is an optimization.
+			old.warm = w
+			s.warmCount++
+			s.cond.Broadcast()
+			s.logf("spill %s failed: %v", old.id, err)
+			return
+		}
+		old.hasCkpt = true
+		s.spills++
+		s.cond.Broadcast()
+		s.logf("session %s spilled to disk at cycle %d", old.id, old.cycle)
+	}
+}
+
+// warmVictimLocked picks the warm-parked ready session that ran least
+// recently.
+func (s *Server) warmVictimLocked() *session {
+	var victim *session
+	for _, sess := range s.order {
+		if sess.warm == nil || sess.state != StateReady {
+			continue
+		}
+		if victim == nil || sess.lastRun < victim.lastRun ||
+			(sess.lastRun == victim.lastRun && sess.seq < victim.seq) {
+			victim = sess
+		}
+	}
+	return victim
 }
 
 // lruVictimLocked picks the resident ready session that ran least
@@ -591,14 +737,18 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 
 	// Workers are gone; only HTTP readers share the lock now. Drain
-	// resident sessions to checkpoints.
+	// resident and warm-parked sessions to checkpoints.
 	s.mu.Lock()
 	var firstErr error
 	for _, sess := range s.order {
+		cs := sess.cs
 		if !sess.resident {
+			cs = sess.warm
+		}
+		if cs == nil {
 			continue
 		}
-		if err := ckpt.Save(s.ckptPath(sess.id), sess.cs, sess.digest); err != nil {
+		if err := ckpt.Save(s.ckptPath(sess.id), cs, sess.digest); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -607,13 +757,19 @@ func (s *Server) Close() error {
 			s.mu.Lock()
 			continue
 		}
-		sess.cs.Close()
+		cs.Close()
+		if sess.resident {
+			sess.resident = false
+			sess.evictions++
+			s.evictions++
+			s.resident--
+		} else {
+			sess.warm = nil
+			s.warmCount--
+			s.spills++
+		}
 		sess.cs, sess.ob = nil, nil
-		sess.resident = false
 		sess.hasCkpt = true
-		sess.evictions++
-		s.evictions++
-		s.resident--
 		if sess.state == StateRunning || sess.state == StateEvicting {
 			sess.state = StateReady
 		}

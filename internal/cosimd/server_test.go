@@ -103,6 +103,82 @@ func TestEvictResumeFingerprint(t *testing.T) {
 	}
 }
 
+// TestWarmEvictResume: with a warm tier wide enough for the whole
+// session population, evictions park live forks in memory and every
+// fault-in adopts one — fingerprints still match uninterrupted runs,
+// no restore touches disk, and no checkpoint file is ever written.
+func TestWarmEvictResume(t *testing.T) {
+	const n = 8
+	srv := newTestServer(t, Options{
+		Workers: 2, MaxResident: 3, MaxWarm: n, SliceCycles: 512,
+	})
+	var ids [n]string
+	for i := 0; i < n; i++ {
+		st, err := srv.Submit(tinyReq(uint64(i + 100)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = st.ID
+	}
+	srv.Wait()
+	for i, id := range ids {
+		_, env := envelope(t, srv, id)
+		if want := directFingerprint(t, tinyReq(uint64(i+100))); env.Fingerprint != want {
+			t.Errorf("session %s fingerprint diverged\n got %s\nwant %s", id, env.Fingerprint, want)
+		}
+	}
+	stats := srv.Stats()
+	if stats.Evictions == 0 || stats.WarmRestores == 0 {
+		t.Fatalf("warm tier idle (evictions=%d warm restores=%d) — the test proved nothing",
+			stats.Evictions, stats.WarmRestores)
+	}
+	if stats.WarmRestores != stats.Restores {
+		t.Errorf("warm tier large enough for every eviction, yet %d of %d restores hit disk",
+			stats.Restores-stats.WarmRestores, stats.Restores)
+	}
+	// No eviction should have serialized: the warm tier never
+	// overflowed, so no checkpoint files exist beside the manifest.
+	files, err := filepath.Glob(filepath.Join(srv.StateDir(), "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Errorf("warm evictions wrote checkpoint files: %v", files)
+	}
+}
+
+// TestWarmSpill: a one-slot warm tier forces spills to disk; sessions
+// still finish with uninterrupted-run fingerprints after
+// warm-park → spill → disk-restore round trips.
+func TestWarmSpill(t *testing.T) {
+	srv := newTestServer(t, Options{
+		Workers: 2, MaxResident: 3, MaxWarm: 1, SliceCycles: 512,
+	})
+	const n = 8
+	var ids [n]string
+	for i := 0; i < n; i++ {
+		st, err := srv.Submit(tinyReq(uint64(i + 200)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = st.ID
+	}
+	srv.Wait()
+	for i, id := range ids {
+		_, env := envelope(t, srv, id)
+		if want := directFingerprint(t, tinyReq(uint64(i+200))); env.Fingerprint != want {
+			t.Errorf("session %s fingerprint diverged\n got %s\nwant %s", id, env.Fingerprint, want)
+		}
+	}
+	stats := srv.Stats()
+	if stats.Spills == 0 {
+		t.Error("MaxWarm=1 under 8-session churn forced no spills — the test proved nothing")
+	}
+	if stats.WarmRestores == 0 {
+		t.Error("no restore was served from the warm tier")
+	}
+}
+
 // TestCacheByteIdentical: resubmitting a completed config is served
 // from the digest-keyed cache — byte-identical envelope, zero
 // simulated cycles, no worker time.

@@ -1,0 +1,143 @@
+package dram
+
+import "repro/internal/sim"
+
+// In-memory forking (second tier of the state capture contract; see
+// DESIGN.md "Two-tier state capture").
+
+// OracleForker is the fork contract of memory oracles, mirroring
+// OracleStater: ForkOracle returns a live deep clone and
+// RestoreForkOracle copies a fork's state back into the receiver in
+// place — into the receiver's own objects, so callers holding the
+// oracle (memory ports, tiles) stay wired to live state.
+type OracleForker interface {
+	ForkOracle() Oracle
+	RestoreForkOracle(f Oracle)
+}
+
+// Fork returns a controller twin. done rebuilds each queued request's
+// completion callback in the fork's object graph — the Done closure
+// cannot be copied, exactly as in a snapshot restore.
+func (c *Controller) Fork(done func(meta interface{}) func(sim.Cycle)) *Controller {
+	f := &Controller{cfg: c.cfg, banks: make([]bank, len(c.banks))}
+	f.RestoreFork(c, done)
+	return f
+}
+
+// RestoreFork copies src's state into c in place; done rebuilds the
+// queued requests' completion callbacks for c's object graph. src is
+// left intact for repeated restores.
+func (c *Controller) RestoreFork(src *Controller, done func(meta interface{}) func(sim.Cycle)) {
+	copy(c.banks, src.banks)
+	c.busFreeAt = src.busFreeAt
+	c.rowHits = src.rowHits
+	c.rowMisses = src.rowMisses
+	c.rowConflicts = src.rowConflicts
+	c.reads = src.reads
+	c.writes = src.writes
+	c.latency = src.latency
+	c.queueSamples = src.queueSamples
+	c.queue = c.queue[:0]
+	for _, r := range src.queue {
+		q := &Request{
+			Line:    r.Line,
+			Write:   r.Write,
+			Meta:    r.Meta,
+			arrived: r.arrived,
+			bank:    r.bank,
+			row:     r.row,
+		}
+		q.Done = done(q.Meta)
+		c.queue = append(c.queue, q)
+	}
+}
+
+// ForkOracle returns an independent deep clone of the detailed
+// oracle; queued requests' completion callbacks are rebound to the
+// clone's completion buffer.
+func (o *DetailedOracle) ForkOracle() Oracle {
+	f := &DetailedOracle{}
+	f.ctl = o.ctl.Fork(f.done)
+	f.cycle = o.cycle
+	f.buf = append([]Completion(nil), o.buf...)
+	return f
+}
+
+// RestoreForkOracle copies f's state into o in place.
+func (o *DetailedOracle) RestoreForkOracle(f Oracle) {
+	src := f.(*DetailedOracle)
+	o.ctl.RestoreFork(src.ctl, o.done)
+	o.cycle = src.cycle
+	o.buf = append(o.buf[:0], src.buf...)
+	o.out = o.out[:0]
+}
+
+// ForkOracle returns an independent deep clone of the analytical
+// oracle, including its affine fit. The pending heap is copied
+// verbatim: the snapshot encoder sorts, so any valid layout
+// re-encodes to identical bytes.
+func (o *AbstractOracle) ForkOracle() Oracle {
+	return &AbstractOracle{
+		baseLat:   o.baseLat,
+		occupancy: o.occupancy,
+		fit:       o.fit.Fork(),
+		nextFree:  o.nextFree,
+		cycle:     o.cycle,
+		seq:       o.seq,
+		pending:   append(absHeap(nil), o.pending...),
+		reads:     o.reads,
+		writes:    o.writes,
+		latency:   o.latency,
+	}
+}
+
+// RestoreForkOracle copies f's state into o in place, restoring into
+// o's own fit object so fit sharers (a calibration pairing) stay
+// wired to it.
+func (o *AbstractOracle) RestoreForkOracle(f Oracle) {
+	src := f.(*AbstractOracle)
+	o.fit.RestoreFork(src.fit)
+	o.nextFree = src.nextFree
+	o.cycle = src.cycle
+	o.seq = src.seq
+	o.pending = append(o.pending[:0], src.pending...)
+	o.reads = src.reads
+	o.writes = src.writes
+	o.latency = src.latency
+	o.out = o.out[:0]
+}
+
+// ForkOracle deep-clones the calibrated pairing: both fidelities fork,
+// and the pairing is re-wired to the forked abstract side's fit so the
+// clone keeps the parent's fit-sharing topology. Shadow-request keys
+// are plain uint64 values, so no remapping is needed.
+func (o *CalibratedOracle) ForkOracle() Oracle {
+	abs := o.abs.ForkOracle().(*AbstractOracle)
+	det := o.det.ForkOracle().(*DetailedOracle)
+	f := &CalibratedOracle{
+		abs:       abs,
+		det:       det,
+		pair:      o.pair.ForkWith(abs.fit, nil),
+		shadowSeq: o.shadowSeq,
+		arrived:   make(map[uint64]sim.Cycle, len(o.arrived)),
+	}
+	//simlint:allow maprange map-to-map rebuild; insertion order immaterial
+	for id, at := range o.arrived {
+		f.arrived[id] = at
+	}
+	return f
+}
+
+// RestoreForkOracle copies f's state into o in place.
+func (o *CalibratedOracle) RestoreForkOracle(f Oracle) {
+	src := f.(*CalibratedOracle)
+	o.abs.RestoreForkOracle(src.abs)
+	o.det.RestoreForkOracle(src.det)
+	o.pair.RestoreForkWith(src.pair, nil)
+	o.shadowSeq = src.shadowSeq
+	o.arrived = make(map[uint64]sim.Cycle, len(src.arrived))
+	//simlint:allow maprange map-to-map rebuild; insertion order immaterial
+	for id, at := range src.arrived {
+		o.arrived[id] = at
+	}
+}

@@ -90,8 +90,10 @@ type Tile struct {
 	prefetchOut int
 	stats       tileStats
 
-	// Home (directory + L2 bank) side.
+	// Home (directory + L2 bank) side. dir supports copy-on-write
+	// sharing with a fork, materialized by dirLineOf.
 	dir       map[uint64]*dirLine
+	dirShared bool //simlint:derived copy-on-write bookkeeping, re-seeded by every fork, never serialized
 	l2        *l2Bank
 	victimBuf map[uint64]*vbEntry
 

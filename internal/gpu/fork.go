@@ -1,0 +1,60 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+)
+
+// In-memory forking (second tier of the state capture contract; see
+// DESIGN.md "Two-tier state capture").
+
+// Fork returns an independent deep clone of the offload backend: the
+// wrapped network forks, the stateless device model is shared. Like a
+// snapshot restore, the host-cost kernel counters (Kernels, LaunchNs,
+// ComputeNs) restart from zero so forked and restored runs account
+// identically.
+func (b *Backend) Fork(remap noc.PacketRemap) (*Backend, error) {
+	net, err := b.net.Fork(remap)
+	if err != nil {
+		return nil, err
+	}
+	f := NewBackend(net, b.dev)
+	f.copyStateFrom(b)
+	return f, nil
+}
+
+// RestoreFork copies f's state into b in place; f is left intact.
+func (b *Backend) RestoreFork(f *Backend, remap noc.PacketRemap) {
+	b.net.RestoreFork(f.net, remap)
+	b.copyStateFrom(f)
+}
+
+// ForkBackend implements core.BackendForker structurally (this
+// package does not import core, matching how BackendStater is
+// satisfied).
+func (b *Backend) ForkBackend(remap noc.PacketRemap) (any, error) {
+	return b.Fork(remap)
+}
+
+// RestoreForkBackend implements core.BackendForker structurally.
+func (b *Backend) RestoreForkBackend(src any, remap noc.PacketRemap) error {
+	sf, ok := src.(*Backend)
+	if !ok {
+		return fmt.Errorf("gpu: cannot restore %T into an offload backend", src)
+	}
+	b.RestoreFork(sf, remap)
+	return nil
+}
+
+func (b *Backend) copyStateFrom(src *Backend) {
+	b.stats.Quanta = src.stats.Quanta
+	b.stats.Kernels = 0
+	b.stats.LaunchNs = 0
+	b.stats.ComputeNs = 0
+	b.stats.TransferNs = src.stats.TransferNs
+	b.stats.BytesToDevice = src.stats.BytesToDevice
+	b.stats.BytesFromDevice = src.stats.BytesFromDevice
+	b.pendingInj = src.pendingInj
+	b.drained = src.drained
+}

@@ -1,0 +1,26 @@
+package sim
+
+// In-memory forking. Fork methods are the second tier of the state
+// capture contract (DESIGN.md "Two-tier state capture"): where
+// SnapshotTo/RestoreFrom produce the versioned interchange envelope,
+// Fork/ForkFrom produce a live deep clone in microseconds, sharing
+// immutable tables and re-seeding derived state exactly as a restore
+// would. simlint's statecov rule cross-checks fork bodies against the
+// snapshot pair, so every persistent field must be referenced by name.
+
+// Fork returns an independent generator at the same stream position.
+// Advancing either copy never perturbs the other.
+func (r *RNG) Fork() *RNG {
+	return &RNG{state: r.state, inc: r.inc}
+}
+
+// ForkFrom makes q an independent deep copy of src, reusing q's
+// backing array where possible. The heap is copied verbatim — the
+// snapshot encoder canonicalizes ordering, so any valid heap layout
+// re-encodes to identical bytes.
+func (q *TypedQueue[T]) ForkFrom(src *TypedQueue[T]) {
+	q.heap = append(q.heap[:0], src.heap...)
+	q.seq = src.seq
+	q.watermark = src.watermark
+	q.fired = src.fired
+}

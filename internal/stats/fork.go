@@ -1,0 +1,48 @@
+package stats
+
+// In-memory forking (second tier of the state capture contract; see
+// DESIGN.md "Two-tier state capture"). Running is a plain value type
+// and is forked by assignment at the holder — it deliberately has no
+// Fork method so statecov keeps demanding per-field coverage only of
+// its snapshot pair.
+
+// Fork returns an independent deep copy of the histogram.
+func (h *Histogram) Fork() *Histogram {
+	return &Histogram{
+		binWidth: h.binWidth,
+		bins:     append([]uint64(nil), h.bins...),
+		overflow: h.overflow,
+		moments:  h.moments,
+	}
+}
+
+// RestoreFork copies f's state into h in place, reusing h's bin
+// backing array. f is left intact so it can seed repeated restores.
+func (h *Histogram) RestoreFork(f *Histogram) {
+	h.binWidth = f.binWidth
+	h.bins = append(h.bins[:0], f.bins...)
+	h.overflow = f.overflow
+	h.moments = f.moments
+}
+
+// Fork returns an independent deep copy of the tracker.
+func (t *LatencyTracker) Fork() *LatencyTracker {
+	return &LatencyTracker{
+		total:    t.total,
+		network:  t.network,
+		queueing: t.queueing,
+		hops:     t.hops,
+		byClass:  t.byClass,
+		hist:     t.hist.Fork(),
+	}
+}
+
+// RestoreFork copies f's state into t in place.
+func (t *LatencyTracker) RestoreFork(f *LatencyTracker) {
+	t.total = f.total
+	t.network = f.network
+	t.queueing = f.queueing
+	t.hops = f.hops
+	t.byClass = f.byClass
+	t.hist.RestoreFork(f.hist)
+}

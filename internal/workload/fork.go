@@ -1,0 +1,50 @@
+package workload
+
+import "repro/internal/fullsys"
+
+// ForkWorkload returns an independent deep copy of the kernel's
+// generator position (fullsys.Forker). Configuration fields are
+// copied by value; the per-core RNG streams and state machines are
+// deep-copied so parent and fork generate independently.
+func (s *Synthetic) ForkWorkload() fullsys.Workload {
+	s.init()
+	f := &Synthetic{
+		Name:         s.Name,
+		Cores:        s.Cores,
+		OpsPerCore:   s.OpsPerCore,
+		ComputeMean:  s.ComputeMean,
+		LoadFrac:     s.LoadFrac,
+		StoreFrac:    s.StoreFrac,
+		AtomicFrac:   s.AtomicFrac,
+		Addr:         s.Addr,
+		BarrierEvery: s.BarrierEvery,
+		PrivateLines: s.PrivateLines,
+		SharedLines:  s.SharedLines,
+		HotLines:     s.HotLines,
+		Seed:         s.Seed,
+	}
+	f.init()
+	for c := range s.rngs {
+		f.rngs[c] = s.rngs[c].Fork()
+	}
+	copy(f.done, s.done)
+	copy(f.phase, s.phase)
+	copy(f.nextBar, s.nextBar)
+	copy(f.state, s.state)
+	return f
+}
+
+// RestoreForkWorkload copies f's generator position into s in place
+// (fullsys.Forker). f is left intact for repeated restores.
+func (s *Synthetic) RestoreForkWorkload(f fullsys.Workload) {
+	src := f.(*Synthetic)
+	s.init()
+	src.init()
+	for c := range s.rngs {
+		*s.rngs[c] = *src.rngs[c]
+	}
+	copy(s.done, src.done)
+	copy(s.phase, src.phase)
+	copy(s.nextBar, src.nextBar)
+	copy(s.state, src.state)
+}

@@ -261,17 +261,13 @@ func BuildBackend(cfg Config, mode Mode) (core.Backend, error) {
 	}
 }
 
-// BuildCosim constructs a complete co-simulation of the workload under
-// the given mode.
-func BuildCosim(cfg Config, mode Mode, wl fullsys.Workload) (*core.Cosim, error) {
-	backend, err := BuildBackend(cfg, mode)
-	if err != nil {
-		return nil, err
-	}
-	quantum := cfg.Quantum
+// ModeQuantum returns the synchronization quantum a mode actually runs
+// at under cfg: the configured quantum, except for the modes that
+// require cycle-by-cycle coupling.
+func ModeQuantum(cfg Config, mode Mode) int {
 	switch mode {
 	case ModeSynchronous:
-		quantum = 1
+		return 1
 	case ModeAbstract, ModeContention, ModeCalibrated:
 		// The system consults analytical backends inline (they are
 		// cheap), so their deliveries land at exact model-predicted
@@ -279,8 +275,19 @@ func BuildCosim(cfg Config, mode Mode, wl fullsys.Workload) (*core.Cosim, error)
 		// baseline really integrates into a full-system simulator.
 		// Calibrated mode still advances its shadow NoC per call, so
 		// this also gives it per-cycle feeding.
-		quantum = 1
+		return 1
 	}
+	return cfg.Quantum
+}
+
+// BuildCosim constructs a complete co-simulation of the workload under
+// the given mode.
+func BuildCosim(cfg Config, mode Mode, wl fullsys.Workload) (*core.Cosim, error) {
+	backend, err := BuildBackend(cfg, mode)
+	if err != nil {
+		return nil, err
+	}
+	quantum := ModeQuantum(cfg, mode)
 	sysCfg := cfg.System
 	sysCfg.Tiles = cfg.Tiles
 	cs, err := core.Build(sysCfg, wl, backend, quantum)
@@ -291,4 +298,26 @@ func BuildCosim(cfg Config, mode Mode, wl fullsys.Workload) (*core.Cosim, error)
 		cs.Stepper = engine.NewParallel(cfg.ComponentWorkers)
 	}
 	return cs, nil
+}
+
+// ForkCosim transplants a fork of warm's system state onto a freshly
+// built backend for (cfg, mode) — the warm-fork sweep primitive: run
+// one simulation through the warmup phase, then fork the warmed system
+// across N network configurations instead of repeating N identical
+// warmups. The warm simulation's network must be drained (see
+// core.Cosim.RunToQuiescence); warm itself keeps running and can be
+// forked again.
+func ForkCosim(warm *core.Cosim, cfg Config, mode Mode) (*core.Cosim, error) {
+	backend, err := BuildBackend(cfg, mode)
+	if err != nil {
+		return nil, err
+	}
+	f, err := warm.ForkInto(backend, ModeQuantum(cfg, mode))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ComponentWorkers > 1 {
+		f.Stepper = engine.NewParallel(cfg.ComponentWorkers)
+	}
+	return f, nil
 }
