@@ -41,18 +41,22 @@ func main() {
 		maxWarm  = flag.Int("max-warm", 0, "max evicted sessions kept as in-memory warm forks before spilling to checkpoint files (0 = max-resident, negative = disable the warm tier)")
 		stateDir = flag.String("state", "", "checkpoint/manifest directory (default: fresh temp dir)")
 		aging    = flag.Uint64("aging", 0, "scheduler aging credit in cycles per tick (0 = one slice)")
+		events   = flag.Int("events-buffer", 0, "per-subscriber /events queue depth (0 = 256, negative = disable event streaming)")
+		flight   = flag.Int("flight-depth", 0, "per-session flight-recorder ring size (0 = 64, negative = disable flight recording)")
 		quiet    = flag.Bool("quiet", false, "suppress server event log")
 		smoke    = flag.Bool("smoke", false, "run the self-contained smoke test and exit")
 	)
 	flag.Parse()
 
 	opts := cosimd.Options{
-		Workers:     *workers,
-		SliceCycles: *slice,
-		MaxResident: *resident,
-		MaxWarm:     *maxWarm,
-		StateDir:    *stateDir,
-		Aging:       *aging,
+		Workers:      *workers,
+		SliceCycles:  *slice,
+		MaxResident:  *resident,
+		MaxWarm:      *maxWarm,
+		StateDir:     *stateDir,
+		Aging:        *aging,
+		EventsBuffer: *events,
+		FlightDepth:  *flight,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr

@@ -230,6 +230,12 @@ func (p *forkPool) put(s *Cosim) bool {
 	return true
 }
 
+func (p *forkPool) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.shells)
+}
+
 func (p *forkPool) drain() {
 	p.mu.Lock()
 	shells := p.shells
@@ -286,6 +292,17 @@ func (c *Cosim) Fork() (*Cosim, error) {
 	f.pool = c.pool
 	f.copyStateFrom(c)
 	return f, nil
+}
+
+// PooledShells reports how many idle fork shells this simulation's
+// family pool currently holds (0 when the simulation was never
+// forked). Observability only; the value is stale the moment it is
+// read.
+func (c *Cosim) PooledShells() int {
+	if c == nil || c.pool == nil {
+		return 0
+	}
+	return c.pool.len()
 }
 
 // Release returns this simulation's shell to the family fork pool for

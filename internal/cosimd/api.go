@@ -220,6 +220,19 @@ type ServerStats struct {
 	CacheMiss    uint64         `json:"cache_misses"`
 	Tenants      []TenantStats  `json:"tenants"`
 	Fairness     FairnessReport `json:"fairness"`
+	Obs          ObsStats       `json:"obs"`
+}
+
+// ObsStats aggregates the observability plane across all sessions.
+type ObsStats struct {
+	// Subscribers counts live /events subscriptions; Published and
+	// Dropped total the events accepted and the subscriber-queue
+	// overflows (the drop-and-count slow-consumer policy).
+	Subscribers int    `json:"subscribers"`
+	Published   uint64 `json:"events_published"`
+	Dropped     uint64 `json:"events_dropped"`
+	// FlightRecords totals entries ever recorded into flight rings.
+	FlightRecords uint64 `json:"flight_records"`
 }
 
 // Fingerprint summarizes every externally observable outcome of a

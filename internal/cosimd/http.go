@@ -14,8 +14,11 @@ import (
 //	GET  /api/v1/sessions/{id}/result   completed envelope (exact cached bytes)
 //	GET  /api/v1/sessions/{id}/progress NDJSON status stream until final state
 //	GET  /api/v1/sessions/{id}/metrics  latest obs metrics snapshot
+//	GET  /api/v1/sessions/{id}/events   NDJSON observability event stream (fan-out)
+//	GET  /api/v1/sessions/{id}/flight   flight-recorder ring dump
 //	POST /api/v1/sweeps              expand + submit a sweep → SweepReply
 //	GET  /api/v1/stats               pool accounting → ServerStats
+//	GET  /metrics                    Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/sessions", s.handleSubmit)
@@ -24,9 +27,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/sessions/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/flight", s.handleFlight)
 	mux.HandleFunc("POST /api/v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleProm)
 	return mux
+}
+
+// streamPrep prepares w for NDJSON streaming and returns its Flusher.
+// When the ResponseWriter cannot flush (a wrapping middleware hid the
+// interface), the response is tagged with an explicit Warning header —
+// the stream still writes line by line, it just reaches the client at
+// the wrapper's buffering mercy — instead of silently degrading. Must
+// run before the first body write.
+func streamPrep(w http.ResponseWriter) http.Flusher {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		w.Header().Set("Warning",
+			`199 cosimd "response writer does not support flushing; stream delivery is buffered"`)
+		return nil
+	}
+	return flusher
 }
 
 type apiError struct {
@@ -102,8 +125,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
+	flusher := streamPrep(w)
 
 	// Wake the cond loop when the client goes away.
 	ctx := r.Context()
@@ -150,18 +172,90 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleMetrics distinguishes the three failure shapes: unknown
+// session (404), session not submitted with metrics (409, fix the
+// submission), and metrics armed but no slice completed yet (409,
+// retry later).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	blob, ok := s.Metrics(r.PathValue("id"))
+	blob, armed, ok := s.Metrics(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	if !armed {
+		writeError(w, http.StatusConflict, "session was not submitted with \"metrics\": true")
+		return
+	}
 	if blob == nil {
-		writeError(w, http.StatusConflict, "no metrics: submit with \"metrics\": true and let a slice run")
+		writeError(w, http.StatusConflict, "no metrics snapshot yet: no slice has completed")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(blob)
+}
+
+// handleEvents streams the session's observability events as NDJSON:
+// one synthetic sync line (current state + last published sequence),
+// then every event the hub fans out, until the session reaches a final
+// state, the server drains, or the client disconnects. Subscribers
+// that fall behind their bounded queue lose events — visible as Seq
+// gaps — rather than slowing workers.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sub, syncEv, ok := s.Events(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	if sub == nil {
+		writeError(w, http.StatusConflict, "event streaming is disabled (-events-buffer < 0)")
+		return
+	}
+	defer sub.Cancel()
+	flusher := streamPrep(w)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(syncEv); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case ev, open := <-sub.Events():
+			if !open {
+				return // session final or server drained
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// handleFlight dumps the session's flight-recorder ring.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	reply, armed, ok := s.Flight(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	if !armed {
+		writeError(w, http.StatusConflict, "flight recording is disabled (-flight-depth < 0)")
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// handleProm serves the server-wide Prometheus exposition.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", promContentType)
+	s.WriteProm(w)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {

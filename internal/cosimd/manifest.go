@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/ckpt"
+	"repro/internal/obsplane"
 )
 
 // manifestName is the session-table file a drained server leaves in
@@ -110,8 +111,13 @@ func (s *Server) loadManifest() error {
 			errMsg:    ms.Error,
 			result:    ms.Result,
 		}
+		// Hub and flight ring are process-local; a restored session
+		// starts a fresh plane (final sessions get a closed hub so
+		// /events streams end immediately).
+		sess.sobs = s.newSessionObs(sess.id, sess.req.Tenant, sess.req.Metrics)
 		switch sess.state {
 		case StateDone:
+			sess.sobs.finish(StateDone, sess.cycle, "manifest-restore")
 			if sess.finished && len(sess.result) > 0 && s.cache[sess.digest] == nil {
 				var env ResultEnvelope
 				if err := json.Unmarshal(sess.result, &env); err == nil {
@@ -125,6 +131,7 @@ func (s *Server) loadManifest() error {
 			}
 		case StateFailed:
 			// final; nothing to re-enter
+			sess.sobs.finish(StateFailed, sess.cycle, "manifest-restore")
 		default:
 			// Any non-final state re-enters the scheduler as a ready,
 			// non-resident session. Its drain checkpoint (when present)
@@ -135,6 +142,7 @@ func (s *Server) loadManifest() error {
 			sess.entry = s.sched.Add(sess.req.Tenant, sess.seq, sess)
 			s.sched.Account(sess.entry, sess.cycles)
 			s.sched.Ready(sess.entry)
+			sess.sobs.transition(obsplane.FlightSubmit, StateReady, sess.cycle, "manifest-restore")
 		}
 		s.sessions[sess.id] = sess
 		s.order = append(s.order, sess)

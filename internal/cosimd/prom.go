@@ -1,0 +1,209 @@
+package cosimd
+
+import (
+	"io"
+
+	"repro/internal/obsplane"
+)
+
+// WriteProm renders the server-wide metrics page in Prometheus text
+// exposition format (stdlib only; see internal/obsplane's PromWriter).
+// State is gathered under the server lock into plain values, then
+// written unlocked, so a slow scrape reader never holds the lock.
+func (s *Server) WriteProm(w io.Writer) error {
+	type gathered struct {
+		workers      int
+		slice        uint64
+		byState      map[State]int
+		readyDepth   int
+		resident     int
+		warm         int
+		evictions    uint64
+		restores     uint64
+		warmRestores uint64
+		spills       uint64
+		cacheHits    uint64
+		cacheMiss    uint64
+		fairness     FairnessReport
+		tenants      []TenantStats
+		forkShells   int
+		obs          ObsStats
+	}
+	s.mu.Lock()
+	g := gathered{
+		workers:      s.opts.Workers,
+		slice:        s.opts.SliceCycles,
+		byState:      map[State]int{},
+		readyDepth:   len(s.sched.ready),
+		resident:     s.resident,
+		warm:         s.warmCount,
+		evictions:    s.evictions,
+		restores:     s.restores,
+		warmRestores: s.warmRestores,
+		spills:       s.spills,
+		cacheHits:    s.cacheHits,
+		cacheMiss:    s.cacheMiss,
+		fairness:     s.sched.Fairness(),
+		tenants:      s.sched.Tenants(),
+	}
+	for _, sess := range s.order {
+		g.byState[sess.state]++
+		hs := sess.sobs.hub.Stats()
+		g.obs.Subscribers += hs.Subscribers
+		g.obs.Published += hs.Published
+		g.obs.Dropped += hs.Dropped
+		g.obs.FlightRecords += sess.sobs.flight.Total()
+		// Fork-pool occupancy: parked warm clones always; resident
+		// simulations only when no worker owns them (ready under the
+		// lock means untouched until the next locked dispatch).
+		if sess.warm != nil {
+			g.forkShells += sess.warm.PooledShells()
+		} else if sess.resident && sess.state == StateReady && sess.cs != nil {
+			g.forkShells += sess.cs.PooledShells()
+		}
+	}
+	s.mu.Unlock()
+
+	s.tel.mu.Lock()
+	busy := s.tel.busy
+	slices := s.tel.slices
+	busyNanos := s.tel.busyNanos
+	phases := make(map[string]*obsplane.WallHist, len(s.tel.phases))
+	for name, h := range s.tel.phases {
+		phases[name] = h
+	}
+	s.tel.mu.Unlock()
+
+	p := obsplane.NewPromWriter(w)
+
+	p.Header("cosimd_workers", "gauge", "configured worker-pool size")
+	p.Sample("cosimd_workers", nil, float64(g.workers))
+	p.Header("cosimd_workers_busy", "gauge", "workers currently running a slice")
+	p.Sample("cosimd_workers_busy", nil, float64(busy))
+	p.Header("cosimd_worker_busy_seconds_total", "counter", "cumulative wall time workers spent in slices")
+	p.Sample("cosimd_worker_busy_seconds_total", nil, float64(busyNanos)/1e9)
+	p.Header("cosimd_slices_total", "counter", "scheduling slices completed")
+	p.Sample("cosimd_slices_total", nil, float64(slices))
+	p.Header("cosimd_slice_cycles", "gauge", "scheduling slice length in simulated cycles")
+	p.Sample("cosimd_slice_cycles", nil, float64(g.slice))
+
+	p.Header("cosimd_sessions", "gauge", "sessions by lifecycle state")
+	for _, st := range []State{StateReady, StateRunning, StateEvicting, StateDone, StateFailed} {
+		p.Sample("cosimd_sessions", obsplane.L("state", string(st)), float64(g.byState[st]))
+	}
+	p.Header("cosimd_sched_ready_depth", "gauge", "sessions queued for dispatch")
+	p.Sample("cosimd_sched_ready_depth", nil, float64(g.readyDepth))
+	p.Header("cosimd_sched_fairness_spread_cycles", "gauge", "worst observed cross-tenant simulated-cycle spread at steady state")
+	p.Sample("cosimd_sched_fairness_spread_cycles", nil, float64(g.fairness.MaxSpread))
+	p.Header("cosimd_sched_fairness_samples_total", "counter", "steady-state fairness samples taken")
+	p.Sample("cosimd_sched_fairness_samples_total", nil, float64(g.fairness.Samples))
+
+	p.Header("cosimd_resident_sessions", "gauge", "sessions live in memory")
+	p.Sample("cosimd_resident_sessions", nil, float64(g.resident))
+	p.Header("cosimd_warm_sessions", "gauge", "evicted sessions parked as in-memory forks")
+	p.Sample("cosimd_warm_sessions", nil, float64(g.warm))
+	p.Header("cosimd_evictions_total", "counter", "sessions evicted (warm parks and disk writes)")
+	p.Sample("cosimd_evictions_total", nil, float64(g.evictions))
+	p.Header("cosimd_restores_total", "counter", "evicted sessions faulted back in")
+	p.Sample("cosimd_restores_total", nil, float64(g.restores))
+	p.Header("cosimd_warm_restores_total", "counter", "restores served by adopting a warm fork")
+	p.Sample("cosimd_warm_restores_total", nil, float64(g.warmRestores))
+	p.Header("cosimd_spills_total", "counter", "warm forks spilled to checkpoint files")
+	p.Sample("cosimd_spills_total", nil, float64(g.spills))
+
+	p.Header("cosimd_cache_hits_total", "counter", "submissions served from the digest-keyed result cache")
+	p.Sample("cosimd_cache_hits_total", nil, float64(g.cacheHits))
+	p.Header("cosimd_cache_misses_total", "counter", "submissions that required simulation")
+	p.Sample("cosimd_cache_misses_total", nil, float64(g.cacheMiss))
+
+	p.Header("cosimd_fork_pool_shells", "gauge", "idle fork shells pooled across parked and ready sessions")
+	p.Sample("cosimd_fork_pool_shells", nil, float64(g.forkShells))
+
+	p.Header("cosimd_tenant_simulated_cycles_total", "counter", "simulated cycles consumed per tenant (the fair-share currency)")
+	for _, t := range g.tenants {
+		p.Sample("cosimd_tenant_simulated_cycles_total", obsplane.L("tenant", t.Tenant), float64(t.Cycles))
+	}
+	p.Header("cosimd_tenant_sessions", "gauge", "per-tenant sessions by liveness")
+	for _, t := range g.tenants {
+		p.Sample("cosimd_tenant_sessions",
+			obsplane.Labels{{"tenant", t.Tenant}, {"phase", "active"}}, float64(t.Active))
+		p.Sample("cosimd_tenant_sessions",
+			obsplane.Labels{{"tenant", t.Tenant}, {"phase", "finished"}}, float64(t.Finished))
+	}
+
+	p.Header("cosimd_events_subscribers", "gauge", "live /events subscriptions")
+	p.Sample("cosimd_events_subscribers", nil, float64(g.obs.Subscribers))
+	p.Header("cosimd_events_published_total", "counter", "observability events published")
+	p.Sample("cosimd_events_published_total", nil, float64(g.obs.Published))
+	p.Header("cosimd_events_dropped_total", "counter", "events lost to slow subscribers (drop-and-count)")
+	p.Sample("cosimd_events_dropped_total", nil, float64(g.obs.Dropped))
+	p.Header("cosimd_flight_records_total", "counter", "entries recorded into flight rings")
+	p.Sample("cosimd_flight_records_total", nil, float64(g.obs.FlightRecords))
+
+	p.Header("cosimd_phase_wall_seconds", "histogram", "wall cost per server phase (slice, build, faultin_warm, faultin_disk, park_warm, evict_disk, spill)")
+	for _, name := range obsplane.SortedKeys(phases) {
+		phases[name].WriteProm(p, "cosimd_phase_wall_seconds", obsplane.L("phase", name))
+	}
+
+	return p.Err()
+}
+
+// Events subscribes to a session's event stream. The returned sync
+// event is the stream's synthetic first line: the session's state and
+// cycle at subscription time plus the hub sequence already published,
+// so a reconnecting client can tell what it missed. sub is nil when
+// event streaming is disabled (Options.EventsBuffer < 0); ok reports
+// whether the session exists.
+func (s *Server) Events(id string) (sub *obsplane.Subscriber, syncEv obsplane.Event, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	if sess == nil {
+		return nil, obsplane.Event{}, false
+	}
+	sub = sess.sobs.hub.Subscribe()
+	if sub == nil {
+		return nil, obsplane.Event{}, true
+	}
+	syncEv = obsplane.Event{
+		Seq:     sess.sobs.hub.Stats().Seq,
+		Kind:    obsplane.KindSync,
+		Session: sess.id,
+		Tenant:  sess.req.Tenant,
+		State:   string(sess.state),
+		Cycle:   sess.cycle,
+	}
+	return sub, syncEv, true
+}
+
+// FlightReply is the /flight payload: the session's identity and state
+// around its flight-ring dump.
+type FlightReply struct {
+	Session string `json:"session"`
+	Tenant  string `json:"tenant"`
+	State   State  `json:"state"`
+	obsplane.FlightDump
+}
+
+// Flight snapshots a session's flight ring. armed reports whether
+// flight recording is enabled (Options.FlightDepth >= 0); ok reports
+// whether the session exists.
+func (s *Server) Flight(id string) (reply FlightReply, armed, ok bool) {
+	s.mu.Lock()
+	sess := s.sessions[id]
+	if sess == nil {
+		s.mu.Unlock()
+		return FlightReply{}, false, false
+	}
+	reply = FlightReply{Session: sess.id, Tenant: sess.req.Tenant, State: sess.state}
+	flight := sess.sobs.flight
+	s.mu.Unlock()
+	if flight == nil {
+		return reply, false, true
+	}
+	reply.FlightDump = flight.Snapshot()
+	return reply, true, true
+}
+
+// promContentType is the exposition content type for /metrics.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"

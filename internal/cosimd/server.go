@@ -42,6 +42,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obsplane"
 	"repro/internal/sim"
 )
 
@@ -73,6 +74,17 @@ type Options struct {
 	// Aging is the scheduler's per-tick waiting credit in cycles
 	// (default SliceCycles).
 	Aging uint64
+	// EventsBuffer is the per-subscriber event-queue depth for the
+	// /events fan-out (default 256). A subscriber that falls behind its
+	// queue loses events (drop-and-count) rather than slowing a worker.
+	// Negative disables event streaming entirely.
+	EventsBuffer int
+	// FlightDepth is the per-session flight-recorder ring size in
+	// entries (default 64). The ring holds recent per-quantum samples
+	// and lifecycle transitions, served from /flight and dumped to
+	// <id>.flight.json on error, eviction-spill, and drain. Negative
+	// disables flight recording.
+	FlightDepth int
 	// Builder turns requests into co-simulations (default StdBuilder).
 	Builder Builder
 	// Log, when non-nil, receives one line per server-level event
@@ -100,6 +112,9 @@ func (o *Options) normalize() {
 	}
 	if o.Aging == 0 {
 		o.Aging = o.SliceCycles
+	}
+	if o.FlightDepth == 0 {
+		o.FlightDepth = 64
 	}
 	if o.Builder == nil {
 		o.Builder = StdBuilder{}
@@ -142,6 +157,11 @@ type session struct {
 	errMsg      string
 
 	metricsJSON []byte
+
+	// sobs is the session's observability-plane state (event hub,
+	// flight ring, observer glue). Always non-nil; its hub/flight are
+	// nil when the respective option disabled them.
+	sobs *sessionObs
 }
 
 type cacheEntry struct {
@@ -173,6 +193,10 @@ type Server struct {
 	cacheMiss    uint64
 	closed       bool
 	drained      bool
+
+	// tel is the wall-cost telemetry behind /metrics (its own mutex;
+	// see obsplane.go).
+	tel telemetry
 
 	wg sync.WaitGroup
 }
@@ -243,6 +267,7 @@ func (s *Server) Submit(req SubmitRequest) (SessionStatus, error) {
 		req:    req,
 		digest: digest,
 	}
+	sess.sobs = s.newSessionObs(sess.id, req.Tenant, req.Metrics)
 	s.nextSeq++
 	if e := s.cache[digest]; e != nil {
 		s.cacheHits++
@@ -252,11 +277,13 @@ func (s *Server) Submit(req SubmitRequest) (SessionStatus, error) {
 		sess.result = e.envelope
 		sess.fingerprint = e.fingerprint
 		sess.cycle = uint64OfEnvelope(e.envelope)
+		sess.sobs.finish(StateDone, sess.cycle, "cache-hit")
 	} else {
 		s.cacheMiss++
 		sess.state = StateReady
 		sess.entry = s.sched.Add(req.Tenant, sess.seq, sess)
 		s.sched.Ready(sess.entry)
+		sess.sobs.transition(obsplane.FlightSubmit, StateReady, 0, "submitted")
 		s.cond.Broadcast()
 	}
 	s.sessions[sess.id] = sess
@@ -327,17 +354,19 @@ func (s *Server) Result(id string) ([]byte, SessionStatus, bool) {
 	return sess.result, s.statusLocked(sess), true
 }
 
-// Metrics returns a session's latest obs metrics snapshot (nil when
-// the session was not submitted with metrics enabled or has not run a
-// slice yet).
-func (s *Server) Metrics(id string) ([]byte, bool) {
+// Metrics returns a session's latest obs metrics snapshot. ok reports
+// whether the session exists; armed reports whether it was submitted
+// with metrics enabled. blob is nil until the first slice ran (and
+// always, when not armed) — the three return values let the HTTP layer
+// distinguish 404 from the two flavors of 409.
+func (s *Server) Metrics(id string) (blob []byte, armed, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess := s.sessions[id]
 	if sess == nil {
-		return nil, false
+		return nil, false, false
 	}
-	return sess.metricsJSON, true
+	return sess.metricsJSON, sess.req.Metrics, true
 }
 
 // Stats reports pool-level accounting.
@@ -362,6 +391,11 @@ func (s *Server) Stats() ServerStats {
 	}
 	for _, sess := range s.order {
 		st.ByState[sess.state]++
+		hs := sess.sobs.hub.Stats()
+		st.Obs.Subscribers += hs.Subscribers
+		st.Obs.Published += hs.Published
+		st.Obs.Dropped += hs.Dropped
+		st.Obs.FlightRecords += sess.sobs.flight.Total()
 	}
 	return st
 }
@@ -406,7 +440,7 @@ func (s *Server) worker() {
 		sess.state = StateRunning
 		s.mu.Unlock()
 
-		s.runSlice(sess)
+		s.runSliceObserved(sess)
 
 		s.mu.Lock()
 		s.evictOverflowLocked()
@@ -430,12 +464,11 @@ func (s *Server) runSlice(sess *session) {
 	if target > limit {
 		target = limit
 	}
+	sess.sobs.beginSlice()
 	res := sess.cs.Run(target)
 	consumed := uint64(sess.cs.Cycle() - start)
 	cycle, retired := uint64(sess.cs.Cycle()), sess.cs.Sys.Retired()
-	if sess.ob != nil {
-		sess.metricsJSON = metricsSnapshot(sess.ob)
-	}
+	sess.metricsJSON = sess.sobs.afterSlice(sess.cs, consumed)
 	if res.Finished || res.Stalled || sess.cs.Cycle() >= limit {
 		fp := Fingerprint(sess.cs, res)
 		env, err := json.Marshal(ResultEnvelope{
@@ -460,6 +493,13 @@ func (s *Server) finishSlice(sess *session, cycle, retired, consumed uint64, env
 	if env != nil {
 		sess.cs.Close()
 	}
+	if err != nil {
+		// Postmortem before the state machine moves on.
+		sess.sobs.flight.Record(obsplane.FlightEntry{
+			Cycle: cycle, Kind: obsplane.FlightFailed, Note: err.Error(),
+		})
+		s.dumpFlight(sess.sobs, "error")
+	}
 	s.mu.Lock()
 	defer func() {
 		s.cond.Broadcast()
@@ -478,6 +518,7 @@ func (s *Server) finishSlice(sess *session, cycle, retired, consumed uint64, env
 		sess.state = StateFailed
 		sess.errMsg = err.Error()
 		s.sched.Retire(sess.entry, consumed)
+		sess.sobs.finish(StateFailed, cycle, err.Error())
 		s.logf("session %s failed: %v", sess.id, err)
 	case env != nil:
 		sess.state = StateDone
@@ -485,6 +526,10 @@ func (s *Server) finishSlice(sess *session, cycle, retired, consumed uint64, env
 		sess.result = env
 		sess.fingerprint = fp
 		s.sched.Retire(sess.entry, consumed)
+		sess.sobs.flight.Record(obsplane.FlightEntry{
+			Cycle: cycle, Kind: obsplane.FlightDone, Retired: retired,
+		})
+		sess.sobs.finish(StateDone, cycle, "finished")
 		if s.cache[sess.digest] == nil {
 			s.cache[sess.digest] = &cacheEntry{envelope: env, fingerprint: fp, finished: true}
 		}
@@ -520,14 +565,19 @@ func (s *Server) faultIn(sess *session) error {
 		s.restores++
 		s.warmRestores++
 		s.mu.Unlock()
-		if sess.req.Metrics {
-			sess.ob = obs.New(obs.Options{Metrics: true, Calib: true})
-			w.SetObserver(sess.ob)
-		}
+		done := s.phaseTimer("faultin_warm")
+		sess.ob = sess.sobs.attach(w)
+		done()
+		sess.sobs.transition(obsplane.FlightFaultIn, StateRunning, uint64(w.Cycle()), "warm")
 		s.logf("session %s warm-restored at cycle %d", sess.id, w.Cycle())
 		return nil
 	}
 	s.mu.Unlock()
+	phase := "build"
+	if sess.hasCkpt {
+		phase = "faultin_disk"
+	}
+	done := s.phaseTimer(phase)
 	cs, err := s.opts.Builder.Build(sess.req)
 	if err != nil {
 		return err
@@ -538,10 +588,9 @@ func (s *Server) faultIn(sess *session) error {
 			return err
 		}
 	}
-	if sess.req.Metrics {
-		sess.ob = obs.New(obs.Options{Metrics: true, Calib: true})
-		cs.SetObserver(sess.ob)
-	}
+	sess.ob = sess.sobs.attach(cs)
+	done()
+	sess.sobs.transition(obsplane.FlightFaultIn, StateRunning, uint64(cs.Cycle()), phase)
 	sess.cs = cs
 	s.mu.Lock()
 	sess.resident = true
@@ -576,7 +625,9 @@ func (s *Server) evictOverflowLocked() {
 			continue
 		}
 		s.mu.Unlock()
+		done := s.phaseTimer("evict_disk")
 		err := ckpt.Save(s.ckptPath(victim.id), victim.cs, victim.digest)
+		done()
 		if err == nil {
 			victim.cs.Close()
 		}
@@ -597,6 +648,7 @@ func (s *Server) evictOverflowLocked() {
 		s.evictions++
 		s.resident--
 		victim.state = StateReady
+		victim.sobs.transition(obsplane.FlightEvict, StateReady, victim.cycle, "disk")
 		s.sched.Ready(victim.entry)
 		s.cond.Broadcast()
 	}
@@ -610,7 +662,9 @@ func (s *Server) evictOverflowLocked() {
 func (s *Server) parkWarmLocked(victim *session) bool {
 	cs := victim.cs
 	s.mu.Unlock()
+	done := s.phaseTimer("park_warm")
 	clone, err := cs.Fork()
+	done()
 	if err == nil {
 		cs.Close()
 	}
@@ -627,6 +681,7 @@ func (s *Server) parkWarmLocked(victim *session) bool {
 	s.warmCount++
 	s.resident--
 	victim.state = StateReady
+	victim.sobs.transition(obsplane.FlightEvict, StateReady, victim.cycle, "warm-park")
 	s.sched.Ready(victim.entry)
 	s.cond.Broadcast()
 	s.spillOverflowLocked()
@@ -650,9 +705,13 @@ func (s *Server) spillOverflowLocked() {
 		old.spilling = true
 		s.warmCount--
 		s.mu.Unlock()
+		done := s.phaseTimer("spill")
 		err := ckpt.Save(s.ckptPath(old.id), w, old.digest)
+		done()
 		if err == nil {
 			w.Close()
+			old.sobs.transition(obsplane.FlightSpill, StateReady, old.cycle, "warm tier overflow")
+			s.dumpFlight(old.sobs, "spill")
 		}
 		s.mu.Lock()
 		old.spilling = false
@@ -775,7 +834,32 @@ func (s *Server) Close() error {
 		}
 	}
 	s.drained = firstErr == nil
+	// Snapshot the table for the observability-plane shutdown: drain
+	// transitions and flight dumps for live sessions, then every hub
+	// closed so /events subscribers see their streams end.
+	type drainObs struct {
+		sobs  *sessionObs
+		state State
+		cycle uint64
+		live  bool
+	}
+	var obsList []drainObs
+	for _, sess := range s.order {
+		obsList = append(obsList, drainObs{
+			sobs:  sess.sobs,
+			state: sess.state,
+			cycle: sess.cycle,
+			live:  sess.state != StateDone && sess.state != StateFailed,
+		})
+	}
 	s.mu.Unlock()
+	for _, d := range obsList {
+		if d.live {
+			d.sobs.transition(obsplane.FlightDrain, d.state, d.cycle, "server drain")
+			s.dumpFlight(d.sobs, "drain")
+		}
+		d.sobs.hub.Close()
+	}
 	if err := s.saveManifest(); err != nil && firstErr == nil {
 		firstErr = err
 	}

@@ -313,15 +313,15 @@ func TestMetricsSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv.Wait()
-	blob, ok := srv.Metrics(st.ID)
-	if !ok || blob == nil {
+	blob, armed, ok := srv.Metrics(st.ID)
+	if !ok || !armed || blob == nil {
 		t.Fatal("no metrics snapshot for a Metrics session")
 	}
 	var doc map[string]any
 	if err := json.Unmarshal(blob, &doc); err != nil {
 		t.Fatalf("metrics not JSON: %v", err)
 	}
-	if blob, _ := srv.Metrics(plain.ID); blob != nil {
+	if blob, armed, _ := srv.Metrics(plain.ID); blob != nil || armed {
 		t.Error("metrics recorded for a session that did not ask for them")
 	}
 	// The Metrics knob is excluded from the digest: the plain-config

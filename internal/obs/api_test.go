@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestRegistryVisit(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(7)
+	r.Gauge("a.gauge").Set(2.5)
+	r.Histogram("c.hist", 1, 8).Observe(3)
+
+	var names []string
+	byName := map[string]MetricView{}
+	r.Visit(func(v MetricView) {
+		names = append(names, v.Name)
+		byName[v.Name] = v
+	})
+	if len(names) != 3 || names[0] != "a.gauge" || names[1] != "b.count" || names[2] != "c.hist" {
+		t.Fatalf("visit order %v, want sorted", names)
+	}
+	if v := byName["b.count"]; v.Kind != KindCounter || v.Value != 7 {
+		t.Fatalf("counter view %+v", v)
+	}
+	if v := byName["a.gauge"]; v.Kind != KindGauge || v.Value != 2.5 {
+		t.Fatalf("gauge view %+v", v)
+	}
+	if v := byName["c.hist"]; v.Kind != KindHistogram || v.Hist == nil || v.Hist.Count() != 1 {
+		t.Fatalf("histogram view %+v", v)
+	}
+
+	var nilr *Registry
+	nilr.Visit(func(MetricView) { t.Fatal("nil registry visited") })
+}
+
+func TestTraceSink(t *testing.T) {
+	tr := newTrace(4)
+	tid := tr.Track("net")
+	tr.Span(tid, "buffered", 0, 10, nil)
+	if tr.Len() != 1 {
+		t.Fatalf("len %d before sink", tr.Len())
+	}
+
+	var sunk []Event
+	tr.SetSink(func(e Event) { sunk = append(sunk, e) })
+	tr.Span(tid, "streamed", 10, 20, nil)
+	tr.Instant(tid, "mark", 15, nil)
+	if tr.Len() != 1 {
+		t.Fatalf("sink leaked into buffer: len %d", tr.Len())
+	}
+	if len(sunk) != 2 || sunk[0].Name != "streamed" || sunk[0].Ph != "X" || sunk[1].Ph != "i" {
+		t.Fatalf("sink saw %+v", sunk)
+	}
+	// With a sink installed the capacity bound never drops.
+	for i := 0; i < 10; i++ {
+		tr.Span(tid, "flood", 0, 1, nil)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped %d with sink installed", tr.Dropped())
+	}
+
+	tr.SetSink(nil)
+	tr.Span(tid, "buffered-again", 20, 30, nil)
+	if tr.Len() != 2 {
+		t.Fatalf("len %d after sink removed", tr.Len())
+	}
+
+	names := tr.TrackNames()
+	if len(names) != 1 || names[tid] != "net" {
+		t.Fatalf("track names %v", names)
+	}
+
+	var nilt *Trace
+	nilt.SetSink(func(Event) {})
+	if nilt.TrackNames() != nil {
+		t.Fatal("nil trace track names")
+	}
+}

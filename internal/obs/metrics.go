@@ -247,3 +247,36 @@ func (r *Registry) Len() int {
 	}
 	return len(r.byName)
 }
+
+// MetricView is one metric as seen by Visit: name, kind, the scalar
+// value for counters/gauges, and the underlying histogram for
+// histogram metrics (nil otherwise). Callers must treat Hist as
+// read-only.
+type MetricView struct {
+	Name  string
+	Kind  string
+	Value float64
+	Hist  *stats.Histogram
+}
+
+// Visit calls fn once per registered metric in sorted-name order — the
+// subscription surface for consumers (such as the cosimd observability
+// plane) that periodically scrape the registry without knowing metric
+// names up front. Deterministic order, read-only views, nil-safe.
+func (r *Registry) Visit(fn func(MetricView)) {
+	if r == nil {
+		return
+	}
+	for _, m := range r.sorted() {
+		v := MetricView{Name: m.name, Kind: m.kind}
+		switch m.kind {
+		case KindCounter:
+			v.Value = float64(m.ctr.Value())
+		case KindGauge:
+			v.Value = m.gau.Value()
+		case KindHistogram:
+			v.Hist = m.his.Snapshot()
+		}
+		fn(v)
+	}
+}

@@ -37,6 +37,7 @@ type Trace struct {
 	byTrack map[string]int
 	cap     int
 	dropped uint64
+	sink    func(Event)
 }
 
 // DefaultTraceCap bounds in-memory trace events when Options.TraceCap
@@ -68,8 +69,36 @@ func (t *Trace) Track(name string) int {
 	return id
 }
 
-// add appends one event, honouring the capacity bound.
+// SetSink diverts subsequent events to fn instead of the in-memory
+// buffer — the subscription surface for streaming consumers. With a
+// sink installed the trace retains nothing itself (Len stays where it
+// was, the capacity bound is moot), so a long-lived session can trace
+// forever without growing; the sink owns any bounding. Passing nil
+// restores buffering. Nil-safe.
+func (t *Trace) SetSink(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.sink = fn
+}
+
+// TrackNames returns the registered track names indexed by tid, so
+// sink consumers can resolve Event.Tid without reaching into the
+// trace. The returned slice is shared; treat it as read-only.
+func (t *Trace) TrackNames() []string {
+	if t == nil {
+		return nil
+	}
+	return t.tracks
+}
+
+// add appends one event, honouring the capacity bound — or hands it to
+// the sink when one is installed.
 func (t *Trace) add(e Event) {
+	if t.sink != nil {
+		t.sink(e)
+		return
+	}
 	if len(t.events) >= t.cap {
 		t.dropped++
 		return

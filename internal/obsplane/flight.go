@@ -1,0 +1,132 @@
+package obsplane
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Flight-entry kinds. Quantum entries are the steady-state samples;
+// the rest mark the lifecycle edges that matter in a postmortem.
+const (
+	FlightQuantum = "quantum"
+	FlightSlice   = "slice"
+	FlightSubmit  = "submit"
+	FlightEvict   = "evict"
+	FlightSpill   = "spill"
+	FlightFaultIn = "fault-in"
+	FlightDone    = "done"
+	FlightFailed  = "failed"
+	FlightDrain   = "drain"
+)
+
+// FlightEntry is one ring slot: a per-quantum sample or a lifecycle
+// transition. It is a flat value type so recording is a struct copy —
+// no allocation, no pointers for the ring to retain.
+type FlightEntry struct {
+	Cycle uint64 `json:"cycle"`
+	Kind  string `json:"kind"`
+	// Quantum-sample payload: cumulative retired instructions, and
+	// since-last-sample deltas for deliveries, memory completions, and
+	// quantum-boundary clamps.
+	Retired    uint64 `json:"retired,omitempty"`
+	Delivered  uint64 `json:"delivered,omitempty"`
+	MemDone    uint64 `json:"mem_done,omitempty"`
+	ClampedNet uint64 `json:"clamped_net,omitempty"`
+	ClampedMem uint64 `json:"clamped_mem,omitempty"`
+	// InFlight is the network's in-flight message count at the sample.
+	InFlight int `json:"inflight,omitempty"`
+	// WallNanos is the wall-clock cost of advancing this quantum (or
+	// phase, for transition entries).
+	WallNanos int64 `json:"wall_ns,omitempty"`
+	// Note annotates transitions (eviction tier, error text, ...).
+	Note string `json:"note,omitempty"`
+}
+
+// FlightRecorder is a fixed-depth ring of recent FlightEntries — the
+// per-session "black box". Recording overwrites the oldest slot once
+// the ring is full; Total keeps counting so a dump says how much
+// history was shed. A nil *FlightRecorder is the disabled recorder:
+// Record no-ops, Snapshot returns an empty dump.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []FlightEntry
+	next  int
+	total uint64
+}
+
+// NewFlightRecorder builds a recorder with the given ring depth, or
+// nil (recording disabled) when depth <= 0.
+func NewFlightRecorder(depth int) *FlightRecorder {
+	if depth <= 0 {
+		return nil
+	}
+	return &FlightRecorder{ring: make([]FlightEntry, depth)}
+}
+
+// Record appends an entry, overwriting the oldest once the ring is
+// full. O(1), allocation-free.
+func (f *FlightRecorder) Record(e FlightEntry) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = e
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Total reports how many entries were ever recorded (recorded minus
+// retained = shed).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// FlightDump is a recorder snapshot: the retained entries oldest
+// first, plus how deep the ring is and how many entries were ever
+// recorded.
+type FlightDump struct {
+	Depth   int           `json:"depth"`
+	Total   uint64        `json:"total"`
+	Entries []FlightEntry `json:"entries"`
+}
+
+// Snapshot copies the retained entries out, oldest first.
+func (f *FlightRecorder) Snapshot() FlightDump {
+	if f == nil {
+		return FlightDump{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := FlightDump{Depth: len(f.ring), Total: f.total}
+	n := int(f.total)
+	if n > len(f.ring) {
+		n = len(f.ring)
+	}
+	d.Entries = make([]FlightEntry, 0, n)
+	start := 0
+	if f.total > uint64(len(f.ring)) {
+		start = f.next
+	}
+	for i := 0; i < n; i++ {
+		d.Entries = append(d.Entries, f.ring[(start+i)%len(f.ring)])
+	}
+	return d
+}
+
+// WriteJSON writes the current dump as indented JSON (the on-disk
+// postmortem format).
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.Snapshot())
+}

@@ -1,0 +1,253 @@
+// Package obsplane is the server-side streaming observability plane:
+// the fan-out and retention machinery that turns the per-run
+// observability of internal/obs into something many concurrent
+// consumers can watch live. It is deliberately simulator-agnostic —
+// nothing here imports the simulation packages — so the same plane
+// can broadcast any event stream.
+//
+// Three pieces:
+//
+//   - Hub: a per-stream broadcast point. Publish is a non-blocking
+//     enqueue into every subscriber's bounded queue; a slow or stalled
+//     subscriber loses events (drop-and-count, visible as sequence
+//     gaps) rather than ever blocking the publisher. This is the
+//     server-scale form of the obs zero-perturbation contract: a
+//     stuck reader cannot slow a worker down, let alone perturb
+//     simulated state.
+//   - FlightRecorder: a fixed-size ring of recent events kept per
+//     stream for postmortems — always on, O(1) and allocation-free to
+//     record, cheap to snapshot.
+//   - PromWriter/WallHist (prom.go): minimal Prometheus text
+//     exposition, stdlib only.
+//
+// obsplane is host-side harness code (simlint's host-side list): it
+// uses locks and channels freely, and nothing in it is ever read by
+// simulated state.
+package obsplane
+
+import "sync"
+
+// Event kinds published by the co-simulation server. The plane itself
+// treats Kind as opaque; the constants live here so producers and
+// consumers share one vocabulary.
+const (
+	// KindState marks a session lifecycle transition (submit, evict,
+	// spill, fault-in, done, failed, drain); State and Note say which.
+	KindState = "state"
+	// KindProgress is the per-slice progress sample: Cycle, Retired,
+	// and the slice's consumed Cycles.
+	KindProgress = "progress"
+	// KindMetrics carries a delta of the session's obs metrics
+	// registry since the previous publish (counters as deltas, gauges
+	// as current values) in Values.
+	KindMetrics = "metrics"
+	// KindSpan is one virtual-cycle trace span (component advance or
+	// fullsys tick) forwarded from the session's obs trace.
+	KindSpan = "span"
+	// KindRetune is one reciprocal-calibration refit instant; Values
+	// carries alpha/beta/residual/drift.
+	KindRetune = "retune"
+	// KindSync is the synthetic first line of an /events response:
+	// where the stream is (current state, cycle, and the hub sequence
+	// already published), so reconnecting clients can reason about
+	// what they missed.
+	KindSync = "sync"
+)
+
+// Event is one observability-plane event, NDJSON-ready. Seq is
+// assigned by the hub at publish time and is strictly increasing per
+// stream, so consumers detect drops (a bounded-queue overflow on their
+// subscription) as sequence gaps.
+type Event struct {
+	Seq     uint64 `json:"seq"`
+	Kind    string `json:"kind"`
+	Session string `json:"session,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	// Cycle is the simulated cycle the event describes (span start for
+	// KindSpan).
+	Cycle uint64 `json:"cycle,omitempty"`
+	// State/Note annotate lifecycle events.
+	State string `json:"state,omitempty"`
+	Note  string `json:"note,omitempty"`
+	// Name/Track/Dur describe spans (and Name the retuned component).
+	Name  string `json:"name,omitempty"`
+	Track string `json:"track,omitempty"`
+	Dur   uint64 `json:"dur,omitempty"`
+	// Retired/Cycles ride on progress events.
+	Retired uint64 `json:"retired,omitempty"`
+	Cycles  uint64 `json:"cycles,omitempty"`
+	// Values carries metric deltas and retune coefficients.
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// DefaultBuffer is a subscriber's queue depth when the hub was built
+// with a non-positive buffer.
+const DefaultBuffer = 256
+
+// Hub is one stream's broadcast point. A nil *Hub is the disabled
+// plane: every method no-ops, so producers publish unconditionally.
+type Hub struct {
+	mu        sync.Mutex
+	buffer    int
+	subs      []*Subscriber
+	seq       uint64
+	published uint64
+	dropped   uint64
+	closed    bool
+}
+
+// NewHub builds a hub whose subscribers each get a bounded queue of
+// the given depth (DefaultBuffer when non-positive).
+func NewHub(buffer int) *Hub {
+	if buffer <= 0 {
+		buffer = DefaultBuffer
+	}
+	return &Hub{buffer: buffer}
+}
+
+// Publish assigns the event a sequence number and enqueues it,
+// non-blocking, into every live subscription. A subscriber whose
+// queue is full loses the event: its drop count (and the hub's) is
+// incremented and the subscriber sees a gap in Seq. Publish never
+// blocks and never allocates at steady state, whatever the consumers
+// are doing. Publishing on a closed (or nil) hub is a no-op.
+func (h *Hub) Publish(ev Event) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.seq++
+	ev.Seq = h.seq
+	h.published++
+	for _, sub := range h.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped++
+			h.dropped++
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe registers a new subscriber. On a closed hub the returned
+// subscription's channel is already closed, so consumers uniformly
+// range until the channel ends. A nil hub returns nil (and a nil
+// *Subscriber's methods are no-ops with a nil Events channel).
+func (h *Hub) Subscribe() *Subscriber {
+	if h == nil {
+		return nil
+	}
+	sub := &Subscriber{hub: h, ch: make(chan Event, h.buffer)}
+	h.mu.Lock()
+	if h.closed {
+		close(sub.ch)
+		sub.closed = true
+	} else {
+		h.subs = append(h.subs, sub)
+	}
+	h.mu.Unlock()
+	return sub
+}
+
+// Close ends the stream: every subscription's channel is closed (after
+// whatever is already queued drains) and later Publish/Subscribe calls
+// find the hub closed. Idempotent.
+func (h *Hub) Close() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		for _, sub := range h.subs {
+			close(sub.ch)
+			sub.closed = true
+		}
+		h.subs = nil
+	}
+	h.mu.Unlock()
+}
+
+// HubStats is a hub's accounting snapshot.
+type HubStats struct {
+	// Subscribers is the current live subscription count.
+	Subscribers int `json:"subscribers"`
+	// Seq is the last sequence number assigned.
+	Seq uint64 `json:"seq"`
+	// Published counts events accepted by Publish; Dropped counts
+	// subscriber-queue overflows (one per subscriber per lost event).
+	Published uint64 `json:"published"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// Stats reports the hub's accounting (zero value for a nil hub).
+func (h *Hub) Stats() HubStats {
+	if h == nil {
+		return HubStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HubStats{
+		Subscribers: len(h.subs),
+		Seq:         h.seq,
+		Published:   h.published,
+		Dropped:     h.dropped,
+	}
+}
+
+// Subscriber is one bounded-queue subscription to a hub.
+type Subscriber struct {
+	hub     *Hub
+	ch      chan Event
+	dropped uint64 // guarded by hub.mu
+	closed  bool   // guarded by hub.mu
+}
+
+// Events is the receive side of the subscription; it is closed by
+// Cancel or the hub's Close. Nil for a nil subscriber.
+func (s *Subscriber) Events() <-chan Event {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Dropped reports how many events this subscription lost to its queue
+// bound.
+func (s *Subscriber) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel unsubscribes and closes the Events channel. Safe to call
+// twice, after the hub closed, and on a nil subscriber.
+func (s *Subscriber) Cancel() {
+	if s == nil {
+		return
+	}
+	h := s.hub
+	h.mu.Lock()
+	if !s.closed {
+		for i, sub := range h.subs {
+			if sub == s {
+				last := len(h.subs) - 1
+				h.subs[i] = h.subs[last]
+				h.subs[last] = nil
+				h.subs = h.subs[:last]
+				break
+			}
+		}
+		close(s.ch)
+		s.closed = true
+	}
+	h.mu.Unlock()
+}

@@ -1,0 +1,264 @@
+package obsplane
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHubFanOutAndSeq(t *testing.T) {
+	h := NewHub(8)
+	a := h.Subscribe()
+	b := h.Subscribe()
+	for i := 0; i < 3; i++ {
+		h.Publish(Event{Kind: KindProgress, Cycle: uint64(i)})
+	}
+	for name, sub := range map[string]*Subscriber{"a": a, "b": b} {
+		for want := uint64(1); want <= 3; want++ {
+			ev := <-sub.Events()
+			if ev.Seq != want {
+				t.Fatalf("%s: seq %d, want %d", name, ev.Seq, want)
+			}
+		}
+	}
+	st := h.Stats()
+	if st.Published != 3 || st.Dropped != 0 || st.Subscribers != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHubDropAndCount(t *testing.T) {
+	h := NewHub(2)
+	slow := h.Subscribe()
+	fast := h.Subscribe()
+	go func() {
+		for range fast.Events() {
+		}
+	}()
+	// The slow subscriber never reads: everything past its buffer of 2
+	// must drop without Publish ever blocking.
+	for i := 0; i < 10; i++ {
+		h.Publish(Event{Kind: KindProgress})
+	}
+	if got := slow.Dropped(); got != 8 {
+		t.Fatalf("slow dropped %d, want 8", got)
+	}
+	if st := h.Stats(); st.Dropped < 8 {
+		t.Fatalf("hub dropped %d, want >= 8", st.Dropped)
+	}
+	// The two queued events are still there, with a visible seq gap
+	// after them impossible (drops are at the tail) — first two seqs
+	// must be 1 and 2.
+	if ev := <-slow.Events(); ev.Seq != 1 {
+		t.Fatalf("first queued seq %d", ev.Seq)
+	}
+	h.Close()
+	fast.Cancel() // after close: must not panic
+}
+
+func TestHubCloseAndCancel(t *testing.T) {
+	h := NewHub(4)
+	sub := h.Subscribe()
+	h.Publish(Event{Kind: KindState, State: "done"})
+	h.Close()
+	ev, ok := <-sub.Events()
+	if !ok || ev.Kind != KindState {
+		t.Fatalf("queued event lost at close: %v %v", ev, ok)
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("channel still open after Close")
+	}
+	// Subscribing after close yields an already-closed stream.
+	late := h.Subscribe()
+	if _, ok := <-late.Events(); ok {
+		t.Fatal("late subscription not closed")
+	}
+	h.Publish(Event{}) // no-op, must not panic
+	sub.Cancel()       // idempotent
+
+	// Cancel mid-stream removes the subscription.
+	h2 := NewHub(4)
+	s1, s2 := h2.Subscribe(), h2.Subscribe()
+	s1.Cancel()
+	h2.Publish(Event{Kind: KindProgress})
+	if _, ok := <-s1.Events(); ok {
+		t.Fatal("cancelled subscription received event")
+	}
+	if ev := <-s2.Events(); ev.Seq != 1 {
+		t.Fatalf("surviving subscription seq %d", ev.Seq)
+	}
+	if st := h2.Stats(); st.Subscribers != 1 {
+		t.Fatalf("subscribers %d after cancel", st.Subscribers)
+	}
+}
+
+func TestHubNilSafe(t *testing.T) {
+	var h *Hub
+	h.Publish(Event{})
+	h.Close()
+	if h.Stats() != (HubStats{}) {
+		t.Fatal("nil hub stats")
+	}
+	sub := h.Subscribe()
+	if sub != nil {
+		t.Fatal("nil hub subscription")
+	}
+	sub.Cancel()
+	if sub.Events() != nil || sub.Dropped() != 0 {
+		t.Fatal("nil subscriber accessors")
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	if d := f.Snapshot(); len(d.Entries) != 0 || d.Depth != 4 {
+		t.Fatalf("empty dump %+v", d)
+	}
+	for i := 0; i < 3; i++ {
+		f.Record(FlightEntry{Cycle: uint64(i), Kind: FlightQuantum})
+	}
+	d := f.Snapshot()
+	if len(d.Entries) != 3 || d.Entries[0].Cycle != 0 || d.Entries[2].Cycle != 2 {
+		t.Fatalf("partial dump %+v", d)
+	}
+	for i := 3; i < 10; i++ {
+		f.Record(FlightEntry{Cycle: uint64(i), Kind: FlightQuantum})
+	}
+	d = f.Snapshot()
+	if d.Total != 10 || len(d.Entries) != 4 {
+		t.Fatalf("wrapped dump total=%d len=%d", d.Total, len(d.Entries))
+	}
+	for i, e := range d.Entries {
+		if e.Cycle != uint64(6+i) {
+			t.Fatalf("entry %d cycle %d, want %d (oldest-first)", i, e.Cycle, 6+i)
+		}
+	}
+
+	var sb strings.Builder
+	if err := f.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"total": 10`) {
+		t.Fatalf("dump JSON missing total: %s", sb.String())
+	}
+
+	var nilf *FlightRecorder
+	nilf.Record(FlightEntry{})
+	if nilf.Total() != 0 || len(nilf.Snapshot().Entries) != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	if NewFlightRecorder(0) != nil {
+		t.Fatal("depth 0 should disable recording")
+	}
+}
+
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+		`(-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$`)
+
+// checkPromText validates a full exposition page: every line is a
+// comment or a well-formed sample, every sample's family has a TYPE
+// declaration, histogram buckets are cumulative. Shared with the
+// cosimd /metrics test via export_test-style reuse is overkill; the
+// cosimd suite has its own copy of the same checks.
+func checkPromText(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, okSuf := strings.CutSuffix(name, suf); okSuf && typed[f] == "histogram" {
+				family = f
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("sample %q has no TYPE declaration", name)
+		}
+	}
+}
+
+func TestPromWriter(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Header("cosimd_workers", "gauge", "configured worker count")
+	p.Sample("cosimd_workers", nil, 8)
+	p.Header("cosimd_sessions", "gauge", "sessions by state")
+	p.Sample("cosimd_sessions", L("state", "running"), 3)
+	p.Sample("cosimd_sessions", Labels{{"state", `we"ird\`}, {"tenant", "a\nb"}}, 1)
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	out := sb.String()
+	checkPromText(t, out)
+	if !strings.Contains(out, `state="we\"ird\\"`) ||
+		!strings.Contains(out, `tenant="a\nb"`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+}
+
+func TestWallHist(t *testing.T) {
+	var h WallHist
+	h.Observe(500 * time.Nanosecond) // <= 1 µs bucket
+	h.Observe(3 * time.Microsecond)  // <= 4 µs
+	h.Observe(time.Minute)           // beyond the last bound: +Inf only
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Header("wall_seconds", "histogram", "phase wall cost")
+	h.WriteProm(p, "wall_seconds", L("phase", "slice"))
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	out := sb.String()
+	checkPromText(t, out)
+	if !strings.Contains(out, `wall_seconds_bucket{phase="slice",le="1e-06"} 1`) {
+		t.Fatalf("first bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `wall_seconds_count{phase="slice"} 3`) {
+		t.Fatalf("count sample wrong:\n%s", out)
+	}
+	// Cumulative monotonicity across the finite buckets.
+	prev := -1.0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "wall_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative:\n%s", out)
+		}
+		prev = v
+	}
+
+	var nilh *WallHist
+	nilh.Observe(time.Second)
+	if nilh.Count() != 0 {
+		t.Fatal("nil hist not inert")
+	}
+	nilh.WriteProm(p, "wall_seconds", L("phase", "empty")) // must not panic
+}

@@ -222,6 +222,7 @@ func DefaultHostSide() []string {
 		"internal/ckpt",     // checkpoint file I/O and resumable running
 		"internal/cosimd",   // the multi-session co-simulation server
 		"internal/expt",     // experiment harness (memoized host-side sweeps)
+		"internal/obsplane", // streaming observability fan-out and retention (server-side)
 		"internal/simlint",  // this analyzer
 		"internal/snapshot", // envelope codec: deterministic bytes, host-side I/O helpers
 		"internal/stats",    // reporting containers; snapshotted state is covered by statecov
