@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race simcheck premerge bench benchdiff fuzz-smoke cosimd-smoke
+.PHONY: all build test vet lint race race-shard simcheck premerge bench benchdiff fuzz-smoke cosimd-smoke
 
 all: build test
 
@@ -41,6 +41,15 @@ cosimd-smoke:
 # self-checks (schedule-into-the-past, heap invariant).
 race:
 	$(GO) test -race ./...
+
+# The sharded-NoC bit-identity matrix under the race detector: every
+# mode x both router architectures x worker counts 1/4/8 against the
+# exhaustive sequential sweep (checkpoint bytes + final results), plus
+# the internal/noc shard property tests. This is the data-race proof
+# for the sharded stepping path — blocking in CI.
+race-shard:
+	$(GO) test -race -run 'TestShardedBitIdenticalAllModes' -count=1 .
+	$(GO) test -race -run 'Shard' -count=1 ./internal/noc ./internal/core
 
 simcheck:
 	$(GO) test -tags simcheck ./...

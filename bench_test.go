@@ -11,6 +11,7 @@ package repro_test
 // `go run ./cmd/repro -exp all -scale full`.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro"
@@ -134,19 +135,33 @@ func quantumPlan(rate float64, terms int) []injEvent {
 // to the boundary, drain, recycle. The pool plus retained scratch make
 // this loop report 0 allocs/op under -benchmem when gating is on.
 func benchQuantum(b *testing.B, rate float64, disableGating bool) {
-	m := topology.NewMesh(8, 8, 1)
+	benchQuantumMesh(b, 8, 1, rate, disableGating)
+}
+
+// benchQuantumMesh generalizes benchQuantum across mesh widths and
+// shard worker counts (workers <= 1 is the sequential sweep). The
+// in-flight cap and the traffic plan scale with the router count so
+// every mesh size runs equally saturated.
+func benchQuantumMesh(b *testing.B, width, workers int, rate float64, disableGating bool) {
+	m := topology.NewMesh(width, width, 1)
 	cfg := noc.DefaultConfig()
 	cfg.DisableGating = disableGating
-	net, err := noc.New(cfg, m, topology.NewXY(m))
+	var opts []noc.Option
+	if workers > 1 {
+		opts = append(opts, noc.WithWorkers(workers))
+	}
+	net, err := noc.New(cfg, m, topology.NewXY(m), opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer net.Close()
-	plan := quantumPlan(rate, 64)
+	routers := width * width
+	plan := quantumPlan(rate, routers)
+	maxInFlight := 32 * routers
 	quantum := func() {
 		base := net.Cycle()
 		for _, ev := range plan {
-			if net.InFlight() > 2048 {
+			if net.InFlight() > maxInFlight {
 				break // saturated run: stop offering once backed up
 			}
 			p := net.NewPacket()
@@ -183,11 +198,30 @@ func BenchmarkStepIdleMeshExhaustive(b *testing.B) { benchQuantum(b, 0.01, true)
 
 // BenchmarkStepSaturated keeps every router busy (45% injection): the
 // gating bookkeeping must cost within a few percent of the exhaustive
-// sweep here, since there is nothing to skip.
-func BenchmarkStepSaturated(b *testing.B) { benchQuantum(b, 0.45, false) }
+// sweep here, since there is nothing to skip. The mesh-size × worker
+// axes make the sharded sweep's intra-mesh scaling curve visible in
+// BENCH_cosim.json: on a multi-core host the w4/w8 rows speed up
+// near-linearly, while w1 is byte-for-byte the sequential path (on a
+// single-core host all rows cost about the same; see EXPERIMENTS.md).
+func BenchmarkStepSaturated(b *testing.B) {
+	for _, width := range []int{16, 32, 64} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%dx%d/w%d", width, width, w), func(b *testing.B) {
+				benchQuantumMesh(b, width, w, 0.45, false)
+			})
+		}
+	}
+}
 
-// BenchmarkStepSaturatedExhaustive is the saturated cost reference.
-func BenchmarkStepSaturatedExhaustive(b *testing.B) { benchQuantum(b, 0.45, true) }
+// BenchmarkStepSaturatedExhaustive is the saturated cost reference
+// (sequential, no gating) at each mesh size.
+func BenchmarkStepSaturatedExhaustive(b *testing.B) {
+	for _, width := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("%dx%d", width, width), func(b *testing.B) {
+			benchQuantumMesh(b, width, 1, 0.45, true)
+		})
+	}
+}
 
 // BenchmarkFullSystemCycles measures the coarse-grain system
 // simulator's cycle rate (16 tiles, abstract network).

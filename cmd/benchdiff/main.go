@@ -1,7 +1,8 @@
 // Command benchdiff compares a fresh `make bench` output
 // (BENCH_cosim.json, in `go test -json` form) against the committed
 // baseline in testdata/bench-baseline.json and reports regressions:
-// more than 20% in ns/op, or any allocs/op growth (the activity-gating
+// more than 20% in ns/op, or allocs/op growth past a small allowance
+// (zero-alloc baselines tolerate nothing — the activity-gating
 // benchmarks assert a zero-alloc steady state, so a single new
 // allocation per op is a real leak, not noise).
 //
@@ -38,8 +39,21 @@ type result struct {
 }
 
 // nsTolerance is the fractional ns/op growth tolerated before a
-// warning; allocs/op tolerates nothing.
+// warning.
 const nsTolerance = 0.20
+
+// allocAllowance is the allocs/op ceiling tolerated against a
+// baseline. A zero baseline tolerates nothing: in a zero-alloc steady
+// state a single new allocation per op is a leak. Nonzero baselines
+// get a small relative allowance, because amortized slice growth (the
+// large-mesh saturated benchmarks deepen per-source backlogs for a
+// long tail) makes one-iteration counts noisy.
+func allocAllowance(base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return base*1.25 + 2
+}
 
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
@@ -166,7 +180,7 @@ func main() {
 			continue
 		}
 		switch {
-		case f.AllocsPerOp > b.AllocsPerOp:
+		case f.AllocsPerOp > allocAllowance(b.AllocsPerOp):
 			warnings++
 			fmt.Printf("WARN      %-36s allocs/op grew %.0f -> %.0f\n",
 				name, b.AllocsPerOp, f.AllocsPerOp)

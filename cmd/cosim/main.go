@@ -39,6 +39,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel engine workers for GPU mode (0 = GOMAXPROCS)")
 		memModel  = flag.String("mem", "fixed", "memory model: fixed|ddr|abstract|calibrated")
 		compWork  = flag.Int("component-workers", 0, "step co-simulation components (network, memory) concurrently with this many workers (0/1 = sequential)")
+		nocWork   = flag.Int("noc-workers", 0, "shard the detailed NoC sweep across this many workers (0/1 = sequential; bit-identical results)")
 		router    = flag.String("router", "vc", "router architecture for detailed modes: vc|deflect")
 		sysStats  = flag.Bool("sysstats", false, "print system-level execution statistics")
 		saveTrace = flag.String("savetrace", "", "write the injection trace of the first mode to this file (JSON lines)")
@@ -97,6 +98,7 @@ func main() {
 	cfg.System.PrefetchDegree = *prefetch
 	cfg.RouterArch = *router
 	cfg.ComponentWorkers = *compWork
+	cfg.NocWorkers = *nocWork
 	cfg.DisableGating = *noFF
 
 	// -fork-sweep: one shared warmup, forked into every mode. The warm

@@ -104,6 +104,9 @@ type CycleNet interface {
 	NewPacket() *noc.Packet
 	Recycle(p *noc.Packet)
 	ActivityStats() noc.ActivityStats
+	// ShardStats reports the sharded stepping layer's work accounting
+	// (zero-valued when the network steps unsharded).
+	ShardStats() noc.ShardStats
 	Close()
 }
 
@@ -134,6 +137,9 @@ func (d *Detailed) Recycle(p *noc.Packet) { d.Net.Recycle(p) }
 
 // ActivityStats reports the wrapped network's gating work accounting.
 func (d *Detailed) ActivityStats() noc.ActivityStats { return d.Net.ActivityStats() }
+
+// ShardStats reports the wrapped network's sharded-stepping accounting.
+func (d *Detailed) ShardStats() noc.ShardStats { return d.Net.ShardStats() }
 
 // Drain implements Backend.
 func (d *Detailed) Drain() []*noc.Packet { return d.Net.Drain() }

@@ -71,6 +71,41 @@ func detailedMeshBackend(t *testing.T) Backend {
 	return NewDetailed(net)
 }
 
+// shardedMeshBackend is detailedMeshBackend with the NoC sharded
+// across the given worker count.
+func shardedMeshBackend(workers int) func(t *testing.T) Backend {
+	return func(t *testing.T) Backend {
+		t.Helper()
+		m := topology.NewMesh(4, 4, 1)
+		net, err := noc.New(noc.DefaultConfig(), m, topology.NewXY(m), noc.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(net.Close)
+		return NewDetailed(net)
+	}
+}
+
+// TestCosimShardedBitIdentical is the co-simulation-level shard
+// guarantee (the intra-NoC companion of TestCosimStepperBitIdentical):
+// sharding the NoC sweep must leave the full-system outcome
+// bit-identical to the sequential sweep, including when component
+// stepping is concurrent too.
+func TestCosimShardedBitIdentical(t *testing.T) {
+	setMem := func(cfg *fullsys.Config) { cfg.MemModel = "ddr" }
+	seq := cosimFingerprintCfg(t, 42, 8, detailedMeshBackend, setMem, nil)
+	for _, w := range []int{2, 4, 8} {
+		if got := cosimFingerprintCfg(t, 42, 8, shardedMeshBackend(w), setMem, nil); got != seq {
+			t.Errorf("sharded NoC stepping (workers=%d) diverged from sequential\nseq: %s\nshd: %s", w, seq, got)
+		}
+	}
+	par := engine.NewParallel(4)
+	defer par.Close()
+	if got := cosimFingerprintCfg(t, 42, 8, shardedMeshBackend(4), setMem, par); got != seq {
+		t.Errorf("sharded NoC under parallel component stepping diverged from sequential\nseq: %s\nshd: %s", seq, got)
+	}
+}
+
 // TestCosimDeterministic is the full-system determinism regression:
 // the same seeded workload through a freshly built system + detailed
 // NoC must produce a bit-identical outcome, at both the synchronous
@@ -131,51 +166,65 @@ func TestCosimStepperBitIdentical(t *testing.T) {
 // calibrated memory model is used so the retune-sink wiring — the one
 // place observability touches the calibration loop — is exercised.
 func TestObservabilityZeroPerturbation(t *testing.T) {
-	run := func(observe bool) (string, []byte, *obs.Observer) {
-		wl := workload.NewFFT(16, 250, 42)
-		cfg := fullsys.DefaultConfig(16)
-		cfg.MemModel = "calibrated"
-		cs, err := Build(cfg, wl, detailedMeshBackend(t), 8)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var ob *obs.Observer
-		if observe {
-			ob = obs.New(obs.Options{Trace: true, Metrics: true, Calib: true})
-			cs.SetObserver(ob)
-		}
-		// Snapshot mid-run, with packets in flight and (in the observed
-		// run) spans and counters already recorded.
-		if cs.Run(5_000).Finished {
-			t.Fatal("fixture finished before the mid-run snapshot point")
-		}
-		e := snapshot.NewEncoder(7)
-		if err := cs.SnapshotTo(e); err != nil {
-			t.Fatal(err)
-		}
-		blob := e.Finish()
-		res := cs.Run(2_000_000)
-		if !res.Finished {
-			t.Fatalf("workload did not finish: %+v", res)
-		}
-		return fingerprintOf(cs, res), blob, ob
+	variants := []struct {
+		name    string
+		backend func(t *testing.T) Backend
+	}{
+		{"sequential", detailedMeshBackend},
+		// The sharded NoC registers extra gauges (net.shards etc.) whose
+		// sampling must be just as invisible — and with wall timing off,
+		// the wall-derived barrier-share gauge must not register at all.
+		{"sharded", shardedMeshBackend(4)},
 	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			run := func(observe bool) (string, []byte, *obs.Observer) {
+				wl := workload.NewFFT(16, 250, 42)
+				cfg := fullsys.DefaultConfig(16)
+				cfg.MemModel = "calibrated"
+				cs, err := Build(cfg, wl, v.backend(t), 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ob *obs.Observer
+				if observe {
+					ob = obs.New(obs.Options{Trace: true, Metrics: true, Calib: true})
+					cs.SetObserver(ob)
+				}
+				// Snapshot mid-run, with packets in flight and (in the observed
+				// run) spans and counters already recorded.
+				if cs.Run(5_000).Finished {
+					t.Fatal("fixture finished before the mid-run snapshot point")
+				}
+				e := snapshot.NewEncoder(7)
+				if err := cs.SnapshotTo(e); err != nil {
+					t.Fatal(err)
+				}
+				blob := e.Finish()
+				res := cs.Run(2_000_000)
+				if !res.Finished {
+					t.Fatalf("workload did not finish: %+v", res)
+				}
+				return fingerprintOf(cs, res), blob, ob
+			}
 
-	plainFP, plainSnap, _ := run(false)
-	obsFP, obsSnap, ob := run(true)
+			plainFP, plainSnap, _ := run(false)
+			obsFP, obsSnap, ob := run(true)
 
-	// Guard the guard: the observer must actually have seen the run,
-	// otherwise identical outputs would be vacuous.
-	if ob.Metrics().Len() == 0 || ob.Trace().Len() == 0 || ob.Calib().Len() == 0 {
-		t.Fatalf("observer recorded nothing (metrics=%d trace=%d calib=%d); the comparison is vacuous",
-			ob.Metrics().Len(), ob.Trace().Len(), ob.Calib().Len())
-	}
-	if plainFP != obsFP {
-		t.Errorf("observability perturbed the run\nplain:    %s\nobserved: %s", plainFP, obsFP)
-	}
-	if !bytes.Equal(plainSnap, obsSnap) {
-		t.Errorf("observability perturbed snapshot bytes: %d bytes vs %d (first diff at %d)",
-			len(plainSnap), len(obsSnap), firstDiff(plainSnap, obsSnap))
+			// Guard the guard: the observer must actually have seen the run,
+			// otherwise identical outputs would be vacuous.
+			if ob.Metrics().Len() == 0 || ob.Trace().Len() == 0 || ob.Calib().Len() == 0 {
+				t.Fatalf("observer recorded nothing (metrics=%d trace=%d calib=%d); the comparison is vacuous",
+					ob.Metrics().Len(), ob.Trace().Len(), ob.Calib().Len())
+			}
+			if plainFP != obsFP {
+				t.Errorf("observability perturbed the run\nplain:    %s\nobserved: %s", plainFP, obsFP)
+			}
+			if !bytes.Equal(plainSnap, obsSnap) {
+				t.Errorf("observability perturbed snapshot bytes: %d bytes vs %d (first diff at %d)",
+					len(plainSnap), len(obsSnap), firstDiff(plainSnap, obsSnap))
+			}
+		})
 	}
 }
 

@@ -335,6 +335,11 @@ func (c *Cosim) RestoreFork(f *Cosim) error {
 		return err
 	}
 	c.Sys.RestoreFork(f.Sys)
+	if sim.Checking {
+		// The send closure carries the simcheck inject-order history;
+		// a restore rewinds simulated time, so install a fresh one.
+		c.Sys.SetSender(SenderFor(c.Net))
+	}
 	c.copyStateFrom(f)
 	return nil
 }

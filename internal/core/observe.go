@@ -66,6 +66,17 @@ type obsHandles struct {
 	actSkipped *obs.Gauge
 	actOcc     *obs.Gauge
 	actPool    *obs.Gauge
+
+	// shards samples the sharded-stepping accounting when the backend
+	// exposes it and the network actually shards; nil otherwise. The
+	// barrier-share gauge derives from wall-clock timers, so it
+	// registers only on wall-enabled observers — the deterministic
+	// registry must stay byte-identical across hosts.
+	shards       func() noc.ShardStats
+	shardCount   *obs.Gauge
+	shardActive  *obs.Gauge
+	shardBdry    *obs.Gauge
+	shardBarrier *obs.Gauge
 }
 
 // flitSwitcher is the optional switching-activity surface of a
@@ -75,6 +86,10 @@ type flitSwitcher interface{ FlitsSwitched() uint64 }
 // activityReporter is the optional activity-gating telemetry surface
 // of a backend (satisfied by Detailed and the GPU offload).
 type activityReporter interface{ ActivityStats() noc.ActivityStats }
+
+// shardReporter is the optional sharded-stepping telemetry surface of
+// a backend (satisfied by Detailed over either cycle-level network).
+type shardReporter interface{ ShardStats() noc.ShardStats }
 
 // wallHistBins sizes the host-time histograms: 10us bins up to 10ms.
 const (
@@ -120,6 +135,17 @@ func (c *Cosim) SetObserver(o *obs.Observer) {
 		h.actSkipped = o.Gauge("net.cycles_skipped")
 		h.actOcc = o.Gauge("net.active_occupancy")
 		h.actPool = o.Gauge("net.pool_hit_rate")
+	}
+	if sr, ok := c.Net.(shardReporter); ok && sr.ShardStats().Shards > 0 {
+		h.shards = sr.ShardStats
+		h.shardCount = o.Gauge("net.shards")
+		h.shardActive = o.Gauge("net.shard_active_mean")
+		h.shardBdry = o.Gauge("net.shard_boundary_wakes")
+		if h.wall {
+			// Derived from host timers; deterministic registries never
+			// see it (same discipline as the wall.* histograms).
+			h.shardBarrier = o.Gauge("net.shard_barrier_share")
+		}
 	}
 	for _, comp := range c.comps {
 		h.tids = append(h.tids, o.Track(comp.Name()))
@@ -197,5 +223,15 @@ func (h *obsHandles) endQuantum(c *Cosim, end sim.Cycle, memDone, netDone int) {
 		h.actOcc.Set(a.Occupancy())
 		h.actPool.Set(a.PoolHitRate())
 		h.tr.Counter("net.cycles_skipped", end, float64(a.Skipped))
+	}
+	if h.shards != nil {
+		s := h.shards()
+		h.shardCount.Set(float64(s.Shards))
+		h.shardActive.Set(s.MeanActiveShards())
+		h.shardBdry.Set(float64(s.BoundaryWakes))
+		h.tr.Counter("net.shard_boundary_wakes", end, float64(s.BoundaryWakes))
+		if h.shardBarrier != nil {
+			h.shardBarrier.Set(s.BarrierShare())
+		}
 	}
 }

@@ -47,6 +47,12 @@ type SubmitRequest struct {
 	// served from /metrics. Observability is proven zero-perturbation,
 	// so this knob is excluded from the config digest.
 	Metrics bool `json:"metrics,omitempty"`
+	// NocWorkers shards the detailed NoC sweep across this many workers
+	// (<=1: sequential). Sharded and sequential runs are proven
+	// bit-identical and their checkpoints interchange, so like Metrics
+	// this is a host-speed knob excluded from the config digest:
+	// requests differing only in NocWorkers dedupe to one cached result.
+	NocWorkers int `json:"noc_workers,omitempty"`
 }
 
 // Normalize fills defaulted fields in place. The server normalizes

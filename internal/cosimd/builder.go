@@ -53,6 +53,9 @@ func (StdBuilder) config(req SubmitRequest) (repro.Config, repro.Mode, string, e
 		cfg.Routing = req.Routing
 	}
 	cfg.Torus = req.Torus
+	if req.NocWorkers > 1 {
+		cfg.NocWorkers = req.NocWorkers
+	}
 	// The workload description mirrors cmd/cosim's, plus the cycle
 	// limit: two runs that stop at different limits are different
 	// results, so the limit must split the cache key.

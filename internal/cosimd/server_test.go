@@ -337,6 +337,43 @@ func TestMetricsSnapshot(t *testing.T) {
 	}
 }
 
+// TestShardedSessionMetrics: a Metrics session with NocWorkers shards
+// the NoC sweep and surfaces the shard gauges in its registry
+// snapshot; NocWorkers — like Metrics — is a host-speed knob excluded
+// from the digest, so the sequential twin is a cache hit and the
+// sharded run's fingerprint matches an uninterrupted sequential run.
+func TestShardedSessionMetrics(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	req := tinyReq(21)
+	req.Metrics = true
+	req.NocWorkers = 4
+	st, err := srv.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+	blob, armed, ok := srv.Metrics(st.ID)
+	if !ok || !armed || blob == nil {
+		t.Fatal("no metrics snapshot for a sharded Metrics session")
+	}
+	if !bytes.Contains(blob, []byte("net.shards")) {
+		t.Errorf("shard gauges missing from the metrics snapshot: %s", blob)
+	}
+	_, env := envelope(t, srv, st.ID)
+	if want := directFingerprint(t, tinyReq(21)); env.Fingerprint != want {
+		t.Errorf("sharded session diverged from the sequential run\n got %s\nwant %s",
+			env.Fingerprint, want)
+	}
+	twin := tinyReq(21)
+	hit, err := srv.Submit(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Error("noc_workers changed the config digest")
+	}
+}
+
 // TestHTTPAPI drives the full surface through a real HTTP round trip.
 func TestHTTPAPI(t *testing.T) {
 	srv := newTestServer(t, Options{Workers: 2, SliceCycles: 512})

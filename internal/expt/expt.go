@@ -41,6 +41,11 @@ type Scale struct {
 	// MemModel selects the memory oracle (fixed|ddr|abstract|calibrated;
 	// "" keeps the fixed default). A3 overrides it per column.
 	MemModel string
+	// NocWorkers shards the detailed NoC sweep across this many
+	// workers (0 = sequential). Sharded runs are bit-identical to
+	// sequential ones, so this only moves wall time; the T2/F7
+	// sharding columns set it per run through shardWorkers.
+	NocWorkers int
 }
 
 // Quick returns the benchmark/test scale: small enough for CI, big
@@ -87,6 +92,10 @@ type runKey struct {
 	quantum int
 	seed    uint64
 	mem     string
+	// nocWorkers splits the memo even though sharded and sequential
+	// results are bit-identical: Result carries wall-clock timings,
+	// and the speed experiments compare exactly those.
+	nocWorkers int
 }
 
 var runMemo = map[runKey]core.Result{}
@@ -94,13 +103,14 @@ var runMemo = map[runKey]core.Result{}
 // run executes one co-simulation of the named workload under a mode,
 // memoizing by configuration.
 func (s Scale) run(mode repro.Mode, wlName string) (core.Result, error) {
-	key := runKey{mode, wlName, s.Cores, s.OpsPerCore, s.Quantum, s.Seed, s.MemModel}
+	key := runKey{mode, wlName, s.Cores, s.OpsPerCore, s.Quantum, s.Seed, s.MemModel, s.NocWorkers}
 	if r, ok := runMemo[key]; ok {
 		return r, nil
 	}
 	cfg := repro.DefaultConfig(s.Cores)
 	cfg.Quantum = s.Quantum
 	cfg.Workers = s.Workers
+	cfg.NocWorkers = s.NocWorkers
 	if s.MemModel != "" {
 		cfg.System.MemModel = s.MemModel
 	}
@@ -119,6 +129,16 @@ func (s Scale) run(mode repro.Mode, wlName string) (core.Result, error) {
 	}
 	runMemo[key] = res
 	return res, nil
+}
+
+// shardWorkers is the worker count the sharded-NoC comparison rows of
+// T2 and F7 use: s.NocWorkers when set, else 8 (the headline axis of
+// the sharding evaluation).
+func (s Scale) shardWorkers() int {
+	if s.NocWorkers > 0 {
+		return s.NocWorkers
+	}
+	return 8
 }
 
 // mustRun is run with panic-on-error, for harness-internal paths where

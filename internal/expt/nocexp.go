@@ -167,13 +167,14 @@ func TableT2(s Scale) []*stats.Table {
 		fmt.Sprintf("T2: NoC design space — system-level vs network-only view (warm-forked at cycle %d)",
 			warm.Cycle()),
 		"config", "exec-cycles", "cosim-lat", "noc-only-lat", "sys-rank", "noc-rank",
-		"net-gated-ms", "net-exhaust-ms", "gate-speedup", "fork-warm-ms")
+		"net-gated-ms", "net-exhaust-ms", "gate-speedup",
+		"net-shard-ms", "shard-speedup", "fork-warm-ms")
 
 	type row struct {
-		name           string
-		exec           sim.Cycle
-		cosimLat, nLat float64
-		gated, exhaust time.Duration
+		name                  string
+		exec                  sim.Cycle
+		cosimLat, nLat        float64
+		gated, exhaust, shard time.Duration
 	}
 	var rows []row
 	for _, p := range points {
@@ -191,9 +192,17 @@ func TableT2(s Scale) []*stats.Table {
 		if exRes.ExecCycles != res.ExecCycles || exRes.Packets != res.Packets {
 			panic(fmt.Sprintf("expt: T2 %s: gated and exhaustive runs diverged", p.name))
 		}
+		// And under the sharded sweep: the same bit-identity contract —
+		// sharding, like gating, may only move NetWall.
+		shCfg := cfg
+		shCfg.NocWorkers = s.shardWorkers()
+		shRes := runForkedT2(warm, shCfg, s)
+		if shRes.ExecCycles != res.ExecCycles || shRes.Packets != res.Packets {
+			panic(fmt.Sprintf("expt: T2 %s: sharded and sequential runs diverged", p.name))
+		}
 		nLat := nocOnlyLatency(cfg, s)
 		rows = append(rows, row{p.name, res.ExecCycles, res.AvgLatency, nLat,
-			res.NetWall, exRes.NetWall})
+			res.NetWall, exRes.NetWall, shRes.NetWall})
 	}
 	sysRank := rankBy(rows, func(r row) float64 { return float64(r.exec) })
 	nocRank := rankBy(rows, func(r row) float64 { return r.nLat })
@@ -202,6 +211,10 @@ func TableT2(s Scale) []*stats.Table {
 		if r.gated > 0 {
 			sp = float64(r.exhaust) / float64(r.gated)
 		}
+		shSp := 0.0
+		if r.shard > 0 {
+			shSp = float64(r.gated) / float64(r.shard)
+		}
 		// The shared warmup is recorded once, on the first row: booking
 		// it per design point would count one simulation six times.
 		warmMS := 0.0
@@ -209,7 +222,8 @@ func TableT2(s Scale) []*stats.Table {
 			warmMS = wallMS(warmWall)
 		}
 		t.AddRow(r.name, uint64(r.exec), r.cosimLat, r.nLat, sysRank[i], nocRank[i],
-			wallMS(r.gated), wallMS(r.exhaust), sp, warmMS)
+			wallMS(r.gated), wallMS(r.exhaust), sp,
+			wallMS(r.shard), shSp, warmMS)
 	}
 	return []*stats.Table{t}
 }

@@ -66,6 +66,12 @@ func (s *System) Fork(send Sender) (*System, error) {
 	return f, nil
 }
 
+// SetSender replaces the send callback. Restore paths that rewind
+// simulated time use this to install a fresh callback, because the
+// simcheck inject-order history lives inside the closure and must
+// restart with the restored clock.
+func (s *System) SetSender(send Sender) { s.send = send }
+
 // RestoreFork copies f's state into s in place. s keeps its own
 // Sender wiring, memory-claim ownership, and oracle objects (state is
 // restored into them, so coordinator memory ports stay valid). f is

@@ -59,11 +59,17 @@ const ringHorizon = 128
 type gate struct {
 	disabled bool
 
-	heap  []uint64 // packed far-future wakes, min-heap
+	// base is the first router id this schedule covers. A whole-network
+	// gate has base 0; a per-shard gate (shard.go) covers the contiguous
+	// range [base, base+R) and stores bitmap bits at local offsets, so
+	// every public method keeps speaking global router ids.
+	base int32
+
+	heap  []uint64 // packed far-future wakes, min-heap (global ids)
 	carry []uint64 // bitmap of routers busy next cycle
 	ring  []uint64 // ringHorizon slots of `words`-wide wake bitmaps
 	buf   []int32  // scratch backing for due()
-	ident []int32  // 0..R-1, returned by due() when every router is active
+	ident []int32  // base..base+R-1, returned by due() when every router is active
 	full  []uint64 // the all-routers bitmap due() compares against
 	words int      // carry bitmap width in uint64s
 
@@ -80,7 +86,8 @@ type gate struct {
 // and deduplicated when they fall due.
 func (g *gate) wake(r int32, at, now sim.Cycle) {
 	if at-now < ringHorizon {
-		g.ring[int(at%ringHorizon)*g.words+int(r)>>6] |= 1 << (uint(r) & 63)
+		lr := r - g.base
+		g.ring[int(at%ringHorizon)*g.words+int(lr)>>6] |= 1 << (uint(lr) & 63)
 		return
 	}
 	h := append(g.heap, uint64(at)<<wakeShift|uint64(uint32(r)))
@@ -99,7 +106,8 @@ func (g *gate) wake(r int32, at, now sim.Cycle) {
 
 // markNext flags router r busy for the next stepped cycle.
 func (g *gate) markNext(r int32) {
-	g.carry[r>>6] |= 1 << (uint(r) & 63)
+	lr := r - g.base
+	g.carry[lr>>6] |= 1 << (uint(lr) & 63)
 }
 
 // wakeAt schedules router r to run at cycle `at` from a wake pass
@@ -176,7 +184,7 @@ func (g *gate) due(now sim.Cycle) []int32 {
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
 			word &= word - 1
-			buf = append(buf, int32(w<<6+b))
+			buf = append(buf, g.base+int32(w<<6+b))
 		}
 		g.carry[w] = 0
 	}
@@ -223,16 +231,22 @@ func (g *gate) next(now sim.Cycle) (sim.Cycle, bool) {
 // reset conservatively wakes all R routers for the next cycle and
 // discards every scheduled event (callers rebuild in-flight wakes from
 // state, e.g. after a snapshot restore).
-func (g *gate) reset(R int) {
+func (g *gate) reset(R int) { g.resetRange(0, R) }
+
+// resetRange is reset for a schedule covering the contiguous router
+// range [base, base+R): the per-shard form of the conservative
+// wake-everything rebuild.
+func (g *gate) resetRange(base int32, R int) {
 	g.heap = g.heap[:0]
 	g.words = (R + 63) >> 6
-	if len(g.ident) != R {
+	if len(g.ident) != R || g.base != base {
+		g.base = base
 		g.carry = make([]uint64, g.words)
 		g.ring = make([]uint64, ringHorizon*g.words)
 		g.ident = make([]int32, R)
 		g.full = make([]uint64, g.words)
 		for r := 0; r < R; r++ {
-			g.ident[r] = int32(r)
+			g.ident[r] = base + int32(r)
 			g.full[r>>6] |= 1 << (uint(r) & 63)
 		}
 	}
@@ -243,7 +257,7 @@ func (g *gate) reset(R int) {
 		g.ring[w] = 0
 	}
 	for r := 0; r < R; r++ {
-		g.markNext(int32(r))
+		g.markNext(base + int32(r))
 	}
 }
 

@@ -49,6 +49,18 @@ type Deflection struct {
 	// nbrOf[r*4+d] is the router across direction d (-1 when the edge
 	// port has no link); the wake pass walks it every stepped cycle.
 	nbrOf []int32 //simlint:derived precomputed from the topology at construction
+
+	// Sharded stepping (shard.go); see Network's shard fields.
+	shards      []shard     //simlint:derived partition recomputed at construction, re-seeded by resetWake
+	shardOf     []int16     //simlint:derived router-to-shard table recomputed at construction
+	shardStepFn func(i int) //simlint:derived engine closure pre-bound at construction
+	shardSwapFn func(i int) //simlint:derived engine closure pre-bound at construction
+	reqWorkers  int         //simlint:derived construction input from WithDeflectWorkers
+
+	// Sharded-path host accounting (never serialized).
+	shardStepped   uint64 //simlint:derived telemetry accumulator; restarts at zero after restore
+	shardActiveSum uint64 //simlint:derived telemetry accumulator; restarts at zero after restore
+	stepNanos      int64  //simlint:derived host-wall accumulator feeding the wall-gated barrier-share metric
 }
 
 // DeflectConfig parameterizes the bufferless network.
@@ -152,6 +164,13 @@ func NewDeflection(cfg DeflectConfig, topo topology.Topology, opts ...DeflectOpt
 	// Pre-bound closures so a gated Step allocates nothing.
 	n.stepFn = func(i int) { n.stepRouter(int(n.activeList[i])) }
 	n.swapFn = func(i int) { n.swapRouter(int(n.swapList[i])) }
+	if n.reqWorkers > 1 {
+		n.eng = newShardEngine(n.eng, n.ownEng, n.reqWorkers)
+		n.ownEng = true
+		if !cfg.DisableGating {
+			n.buildShards(n.reqWorkers)
+		}
+	}
 	return n, nil
 }
 
@@ -191,7 +210,7 @@ func (n *Deflection) Inject(p *Packet, at sim.Cycle) {
 		if at < n.cycle {
 			at = n.cycle
 		}
-		n.gate.wake(int32(r), at, n.cycle)
+		n.wakeRouter(int32(r), at)
 	}
 }
 
@@ -217,6 +236,10 @@ func (n *Deflection) Step() {
 		n.eng.Run(R, n.swapRouter)
 		n.gate.stepped++
 		n.cycle++
+		return
+	}
+	if len(n.shards) > 0 {
+		n.stepSharded()
 		return
 	}
 	n.activeList = n.gate.due(n.cycle)
@@ -285,6 +308,9 @@ func (n *Deflection) wakePass() {
 func (n *Deflection) NextEventCycle() (sim.Cycle, bool) {
 	if n.gate.disabled {
 		return n.cycle, true
+	}
+	if len(n.shards) > 0 {
+		return n.nextEventSharded()
 	}
 	return n.gate.next(n.cycle)
 }

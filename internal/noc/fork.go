@@ -229,5 +229,5 @@ func (n *Deflection) copyStateFrom(src *Deflection, remap PacketRemap) {
 
 	n.drainBuf = n.drainBuf[:0]
 	// Wake state is derived: wake every router once, as a restore does.
-	n.gate.reset(len(n.routers))
+	n.resetWake()
 }

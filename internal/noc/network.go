@@ -54,6 +54,20 @@ type Network struct {
 	// topology's coordinate math.
 	nbrOf []int32 //simlint:derived precomputed from the topology at construction
 	xLink []*link //simlint:derived precomputed from the topology at construction
+
+	// Sharded stepping (shard.go): a spatial partition of the router
+	// range with per-shard wake schedules, built when WithWorkers
+	// requests more than one worker. Shard assignment is derived state,
+	// recomputed at construction and re-seeded on restore.
+	shards     []shard     //simlint:derived partition recomputed at construction, re-seeded by resetWake
+	shardOf    []int16     //simlint:derived router-to-shard table recomputed at construction
+	shardFn    func(i int) //simlint:derived engine closure pre-bound at construction
+	reqWorkers int         //simlint:derived construction input from WithWorkers
+
+	// Sharded-path host accounting (never serialized).
+	shardStepped   uint64 //simlint:derived telemetry accumulator; restarts at zero after restore
+	shardActiveSum uint64 //simlint:derived telemetry accumulator; restarts at zero after restore
+	stepNanos      int64  //simlint:derived host-wall accumulator feeding the wall-gated barrier-share metric
 }
 
 // Option configures a Network at construction.
@@ -170,6 +184,13 @@ func New(cfg Config, topo topology.Topology, routing topology.Routing, opts ...O
 			}
 		},
 	}
+	if n.reqWorkers > 1 {
+		n.eng = newShardEngine(n.eng, n.ownEngine, n.reqWorkers)
+		n.ownEngine = true
+		if !cfg.DisableGating {
+			n.buildShards(n.reqWorkers)
+		}
+	}
 	// When every router is active, due() returns the identity list and
 	// the sweep can index routers directly.
 	n.directFns = [5]func(int){
@@ -232,7 +253,7 @@ func (n *Network) Inject(p *Packet, at sim.Cycle) {
 		if at < n.cycle {
 			at = n.cycle
 		}
-		n.gate.wake(int32(r), at, n.cycle)
+		n.wakeRouter(int32(r), at)
 	}
 }
 
@@ -269,6 +290,10 @@ func (n *Network) Step() {
 		n.eng.Run(R, n.phaseST)
 		n.gate.stepped++
 		n.cycle++
+		return
+	}
+	if len(n.shards) > 0 {
+		n.stepSharded()
 		return
 	}
 	n.activeList = n.gate.due(n.cycle)
@@ -376,6 +401,9 @@ func (n *Network) NextEventCycle() (sim.Cycle, bool) {
 	if n.gate.disabled {
 		return n.cycle, true
 	}
+	if len(n.shards) > 0 {
+		return n.nextEventSharded()
+	}
 	return n.gate.next(n.cycle)
 }
 
@@ -419,7 +447,7 @@ func (n *Network) ActivityStats() ActivityStats {
 // queues need no scan: every router runs the first post-restore cycle,
 // and its wake pass re-arms future injections.
 func (n *Network) rebuildWake() {
-	n.gate.reset(len(n.routers))
+	n.resetWake()
 	if n.gate.disabled {
 		return
 	}
@@ -434,13 +462,13 @@ func (n *Network) rebuildWake() {
 			// the port.
 			for s := range lnk.flits {
 				if lnk.flits[s].pkt != nil {
-					n.gate.wake(int32(r), ringArrival(now, s, len(lnk.flits)), now)
+					n.wakeRouter(int32(r), ringArrival(now, s, len(lnk.flits)))
 				}
 			}
 			nb, _, _ := n.topo.Link(r, p)
 			for s := range lnk.credits {
 				if lnk.credits[s] != -1 {
-					n.gate.wake(int32(nb), ringArrival(now, s, len(lnk.credits)), now)
+					n.wakeRouter(int32(nb), ringArrival(now, s, len(lnk.credits)))
 				}
 			}
 		}
@@ -450,7 +478,7 @@ func (n *Network) rebuildWake() {
 		r, _ := n.topo.RouterOf(t)
 		for s := range ni.creditRing.credits {
 			if ni.creditRing.credits[s] != -1 {
-				n.gate.wake(int32(r), ringArrival(now, s, len(ni.creditRing.credits)), now)
+				n.wakeRouter(int32(r), ringArrival(now, s, len(ni.creditRing.credits)))
 			}
 		}
 	}

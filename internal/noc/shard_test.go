@@ -1,0 +1,287 @@
+package noc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/noc/topology"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// The sharded-stepping property: a sharded gated run must be
+// bit-identical to the exhaustive sequential sweep — same fingerprints,
+// same checkpoint bytes — for every worker count, on both router
+// engines. Run under -race these tests also prove the shard passes
+// share no same-cycle state (see `make race-shard`).
+
+var shardWorkerCounts = []int{2, 4, 8, 64}
+
+// TestShardedBitIdentical compares sharded gated runs against the
+// exhaustive sequential reference across traffic patterns and worker
+// counts (64 exceeds the 36-router mesh, exercising the shard clamp).
+func TestShardedBitIdentical(t *testing.T) {
+	m := topology.NewMesh(6, 6, 1)
+	for _, pattern := range []string{"uniform", "hotspot", "bursty"} {
+		exCfg := DefaultConfig()
+		exCfg.DisableGating = true
+		ex := mustNet(t, exCfg, m, topology.NewXY(m))
+		wantFP, wantMid, wantEnd := runGatingLoad(t, ex, pattern)
+		for _, w := range shardWorkerCounts {
+			t.Run(fmt.Sprintf("%s/w%d", pattern, w), func(t *testing.T) {
+				g := mustNet(t, DefaultConfig(), m, topology.NewXY(m), WithWorkers(w))
+				if got := g.ShardStats().Shards; got < 2 {
+					t.Fatalf("WithWorkers(%d) built %d shards", w, got)
+				}
+				gotFP, gotMid, gotEnd := runGatingLoad(t, g, pattern)
+				if gotFP != wantFP {
+					t.Errorf("sharded run diverged from exhaustive\nexh: %.160s\nshd: %.160s", wantFP, gotFP)
+				}
+				if !bytes.Equal(gotMid, wantMid) {
+					t.Error("mid-run checkpoint bytes differ between sharded and exhaustive runs")
+				}
+				if !bytes.Equal(gotEnd, wantEnd) {
+					t.Error("end-of-run checkpoint bytes differ between sharded and exhaustive runs")
+				}
+			})
+		}
+	}
+}
+
+// TestDeflectionShardedBitIdentical is the deflection-router twin of
+// TestShardedBitIdentical.
+func TestDeflectionShardedBitIdentical(t *testing.T) {
+	mk := func(t *testing.T, disable bool, opts ...DeflectOption) *Deflection {
+		m := topology.NewMesh(6, 6, 1)
+		cfg := DefaultDeflectConfig()
+		cfg.DisableGating = disable
+		n, err := NewDeflection(cfg, m, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		return n
+	}
+	for _, pattern := range []string{"uniform", "hotspot", "bursty"} {
+		ex := mk(t, true)
+		wantFP, wantMid, wantEnd := runDeflGatingLoad(t, ex, pattern)
+		for _, w := range shardWorkerCounts {
+			t.Run(fmt.Sprintf("%s/w%d", pattern, w), func(t *testing.T) {
+				g := mk(t, false, WithDeflectWorkers(w))
+				if got := g.ShardStats().Shards; got < 2 {
+					t.Fatalf("WithDeflectWorkers(%d) built %d shards", w, got)
+				}
+				gotFP, gotMid, gotEnd := runDeflGatingLoad(t, g, pattern)
+				if gotFP != wantFP {
+					t.Errorf("sharded deflection run diverged from exhaustive\nexh: %.160s\nshd: %.160s", wantFP, gotFP)
+				}
+				if !bytes.Equal(gotMid, wantMid) {
+					t.Error("mid-run checkpoint bytes differ between sharded and exhaustive runs")
+				}
+				if !bytes.Equal(gotEnd, wantEnd) {
+					t.Error("end-of-run checkpoint bytes differ between sharded and exhaustive runs")
+				}
+			})
+		}
+	}
+}
+
+// TestShardedRestoreBitIdentical checks that shard assignment really is
+// derived state: a mid-run snapshot taken on a sequential gated network
+// restores into a sharded network (and the other way around) with the
+// continuation bit-identical to the uninterrupted exhaustive run.
+func TestShardedRestoreBitIdentical(t *testing.T) {
+	m := topology.NewMesh(5, 5, 1)
+	load := func(n *Network) {
+		rng := sim.NewRNG(11, 5)
+		for cyc := 0; cyc < 40; cyc++ {
+			for s := 0; s < 25; s++ {
+				if rng.Bernoulli(0.15) {
+					d := rng.Intn(24)
+					if d >= s {
+						d++
+					}
+					n.Inject(&Packet{Src: s, Dst: d, VNet: rng.Intn(3), Size: 4}, n.Cycle())
+				}
+			}
+			n.Step()
+			n.Drain()
+		}
+	}
+	finish := func(t *testing.T, n *Network) string {
+		t.Helper()
+		var delivered []*Packet
+		for i := 0; i < 5000 && !n.Quiescent(); i++ {
+			n.Step()
+			delivered = append(delivered, n.Drain()...)
+		}
+		if !n.Quiescent() {
+			t.Fatal("network failed to drain")
+		}
+		return fingerprint(n, delivered)
+	}
+
+	exCfg := DefaultConfig()
+	exCfg.DisableGating = true
+	ref := mustNet(t, exCfg, m, topology.NewXY(m))
+	load(ref)
+	want := finish(t, ref)
+
+	snapOf := func(n *Network) []byte {
+		e := snapshot.NewEncoder(1)
+		n.SnapshotTo(e, nil)
+		return e.Finish()
+	}
+
+	// Mid-run state captured on a sequential network and on a sharded
+	// one must already serialize to the same bytes.
+	seq := mustNet(t, DefaultConfig(), m, topology.NewXY(m))
+	load(seq)
+	seqBlob := snapOf(seq)
+	shd := mustNet(t, DefaultConfig(), m, topology.NewXY(m), WithWorkers(4))
+	load(shd)
+	if !bytes.Equal(snapOf(shd), seqBlob) {
+		t.Fatal("mid-run snapshot bytes differ between sequential and sharded networks")
+	}
+
+	for _, w := range []int{1, 4, 8} {
+		var opts []Option
+		if w > 1 {
+			opts = append(opts, WithWorkers(w))
+		}
+		n := mustNet(t, DefaultConfig(), m, topology.NewXY(m), opts...)
+		d, err := snapshot.NewDecoder(seqBlob, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RestoreFrom(d, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := finish(t, n); got != want {
+			t.Errorf("restored run (workers=%d) diverged from uninterrupted exhaustive run", w)
+		}
+	}
+
+	// Fork transfer: fork the sharded network mid-run and restore the
+	// fork back into another sharded network; same continuation.
+	shd2 := mustNet(t, DefaultConfig(), m, topology.NewXY(m), WithWorkers(4))
+	load(shd2)
+	f, err := shd2.Fork(NewPacketRemap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dst := mustNet(t, DefaultConfig(), m, topology.NewXY(m), WithWorkers(8))
+	dst.RestoreFork(f, NewPacketRemap())
+	if got := finish(t, dst); got != want {
+		t.Error("fork restored into a sharded network diverged from the exhaustive run")
+	}
+}
+
+// TestShardedSteadyStateZeroAlloc pins the zero-alloc steady state of
+// the sharded step path (outboxes, active lists, and swap scratch all
+// retain capacity across quanta).
+func TestShardedSteadyStateZeroAlloc(t *testing.T) {
+	m := topology.NewMesh(4, 4, 1)
+	n := mustNet(t, DefaultConfig(), m, topology.NewXY(m), WithWorkers(4))
+	rng := sim.NewRNG(3, 3)
+	quantum := func() {
+		base := n.Cycle()
+		for s := 0; s < 16; s++ {
+			if rng.Bernoulli(0.2) {
+				p := n.NewPacket()
+				p.Src = s
+				p.Dst = (s + 5) % 16
+				p.VNet = rng.Intn(3)
+				p.Size = 3
+				n.Inject(p, base)
+			}
+		}
+		n.AdvanceTo(base + 64)
+		for _, p := range n.Drain() {
+			n.Recycle(p)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		quantum()
+	}
+	if avg := testing.AllocsPerRun(100, quantum); avg != 0 {
+		t.Errorf("sharded steady-state quantum loop allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestDeflectionShardedSteadyStateZeroAlloc is the deflection twin.
+func TestDeflectionShardedSteadyStateZeroAlloc(t *testing.T) {
+	m := topology.NewMesh(4, 4, 1)
+	n, err := NewDeflection(DefaultDeflectConfig(), m, WithDeflectWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	rng := sim.NewRNG(3, 3)
+	quantum := func() {
+		base := n.Cycle()
+		for s := 0; s < 16; s++ {
+			if rng.Bernoulli(0.2) {
+				p := n.NewPacket()
+				p.Src = s
+				p.Dst = (s + 5) % 16
+				p.Size = 3
+				n.Inject(p, base)
+			}
+		}
+		n.AdvanceTo(base + 64)
+		for _, p := range n.Drain() {
+			n.Recycle(p)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		quantum()
+	}
+	if avg := testing.AllocsPerRun(100, quantum); avg != 0 {
+		t.Errorf("sharded deflection steady-state quantum loop allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestShardStats sanity-checks the shard accounting: a loaded sharded
+// run reports every shard busy at some point, boundary traffic (the
+// load crosses shard boundaries by construction), and a barrier share
+// inside [0, 1].
+func TestShardStats(t *testing.T) {
+	m := topology.NewMesh(6, 6, 1)
+	n := mustNet(t, DefaultConfig(), m, topology.NewXY(m), WithWorkers(4))
+	runGatingLoad(t, n, "uniform")
+	st := n.ShardStats()
+	if st.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", st.Shards)
+	}
+	if st.Stepped == 0 {
+		t.Fatal("no cycles stepped through the sharded path")
+	}
+	if ma := st.MeanActiveShards(); ma <= 0 || ma > float64(st.Shards) {
+		t.Errorf("MeanActiveShards = %v, want in (0, %d]", ma, st.Shards)
+	}
+	if st.BoundaryWakes == 0 {
+		t.Error("uniform cross-mesh traffic produced no boundary wakes")
+	}
+	if bs := st.BarrierShare(); bs < 0 || bs > 1 {
+		t.Errorf("BarrierShare = %v, want in [0, 1]", bs)
+	}
+	// An unsharded network reports a zero-valued ShardStats.
+	seq := mustNet(t, DefaultConfig(), m, topology.NewXY(m))
+	if st := seq.ShardStats(); st.Shards != 0 || st.Stepped != 0 {
+		t.Errorf("unsharded ShardStats = %+v, want zero", st)
+	}
+
+	d, err := NewDeflection(DefaultDeflectConfig(), m, WithDeflectWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	runDeflGatingLoad(t, d, "uniform")
+	dst := d.ShardStats()
+	if dst.Shards != 4 || dst.Stepped == 0 || dst.BoundaryWakes == 0 {
+		t.Errorf("deflection ShardStats = %+v, want 4 busy shards with boundary traffic", dst)
+	}
+}

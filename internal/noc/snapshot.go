@@ -713,7 +713,7 @@ func (n *Deflection) RestoreFrom(d *snapshot.Decoder, pc snapshot.PayloadCodec, 
 		// Wake state is derived: the staging slots are empty between
 		// steps, so conservatively waking every router suffices (the
 		// first wake pass re-arms queued future injections).
-		n.gate.reset(len(n.routers))
+		n.resetWake()
 	}
 	return d.Err()
 }

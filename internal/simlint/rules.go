@@ -52,14 +52,16 @@ var outputFuncs = map[string]map[string]bool{
 
 // hotPathFunc reports whether a function name is one of the per-cycle
 // hot paths under the zero-alloc steady-state contract: the router
-// pipeline phases, the per-cycle Step/Tick entry points, and the
-// deflection router's per-cycle workers.
+// pipeline phases, the per-cycle Step/Tick entry points, the
+// deflection router's per-cycle workers, and the sharded sweep's
+// per-cycle shard workers and merge.
 func hotPathFunc(name string) bool {
 	if strings.HasPrefix(name, "phase") {
 		return true
 	}
 	switch name {
-	case "Step", "Tick", "stepRouter", "swapRouter":
+	case "Step", "Tick", "stepRouter", "swapRouter",
+		"stepSharded", "shardStep", "shardSwap", "wakePassShard":
 		return true
 	}
 	return false

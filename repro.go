@@ -107,6 +107,14 @@ type Config struct {
 	// boundary; 0 or 1 steps them sequentially. Results are
 	// bit-identical either way.
 	ComponentWorkers int
+	// NocWorkers > 1 shards the cycle-level NoC spatially and steps the
+	// shards concurrently inside each quantum (cmd/cosim -noc-workers).
+	// Composes with ComponentWorkers (across components) and applies to
+	// both router architectures; 0 or 1 keeps the sequential sweep.
+	// Results are bit-identical either way: sharding is a speed knob,
+	// never an accuracy knob, and shard assignment is derived state that
+	// never enters checkpoints.
+	NocWorkers int
 	// Device is the modelled coprocessor for GPU mode.
 	Device gpu.Device
 	// HybridPeriod and HybridSample schedule hybrid mode in cycles.
@@ -195,7 +203,24 @@ func BuildNoC(cfg Config) (*noc.Network, error) {
 	if cfg.DisableGating {
 		cfg.Router.DisableGating = true
 	}
-	return noc.New(cfg.Router, topo, routing)
+	return noc.New(cfg.Router, topo, routing, nocOpts(cfg)...)
+}
+
+// nocOpts translates the shared simulator knobs into VC-network
+// construction options (currently just the shard worker count).
+func nocOpts(cfg Config) []noc.Option {
+	if cfg.NocWorkers > 1 {
+		return []noc.Option{noc.WithWorkers(cfg.NocWorkers)}
+	}
+	return nil
+}
+
+// deflectOpts is nocOpts for the deflection network.
+func deflectOpts(cfg Config) []noc.DeflectOption {
+	if cfg.NocWorkers > 1 {
+		return []noc.DeflectOption{noc.WithDeflectWorkers(cfg.NocWorkers)}
+	}
+	return nil
 }
 
 // BuildBackend constructs the network backend for a mode.
@@ -212,13 +237,13 @@ func BuildBackend(cfg Config, mode Mode) (core.Backend, error) {
 	case ModeSynchronous, ModeReciprocal:
 		switch cfg.RouterArch {
 		case "", "vc":
-			net, err := noc.New(cfg.Router, topo, routing)
+			net, err := noc.New(cfg.Router, topo, routing, nocOpts(cfg)...)
 			if err != nil {
 				return nil, err
 			}
 			return core.NewDetailed(net), nil
 		case "deflect":
-			net, err := noc.NewDeflection(cfg.Deflect, topo)
+			net, err := noc.NewDeflection(cfg.Deflect, topo, deflectOpts(cfg)...)
 			if err != nil {
 				return nil, err
 			}
@@ -238,7 +263,7 @@ func BuildBackend(cfg Config, mode Mode) (core.Backend, error) {
 	case ModeContention:
 		return core.NewAbstract(abstractnet.NewNetwork(abstractnet.NewContention(topo, cfg.Abstract))), nil
 	case ModeHybrid:
-		net, err := noc.New(cfg.Router, topo, routing)
+		net, err := noc.New(cfg.Router, topo, routing, nocOpts(cfg)...)
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +271,7 @@ func BuildBackend(cfg Config, mode Mode) (core.Backend, error) {
 		return core.NewHybrid(core.NewDetailed(net), tuned,
 			sim.Cycle(cfg.HybridPeriod), sim.Cycle(cfg.HybridSample))
 	case ModeCalibrated:
-		net, err := noc.New(cfg.Router, topo, routing)
+		net, err := noc.New(cfg.Router, topo, routing, nocOpts(cfg)...)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
@@ -27,7 +28,14 @@ func ConfigDigest(cfg Config, mode Mode, workloadDesc string) uint64 {
 	cfg.DisableGating = false
 	cfg.Router.DisableGating = false
 	cfg.Deflect.DisableGating = false
-	return snapshot.Digest("repro-ckpt", string(mode), workloadDesc, fmt.Sprintf("%+v", cfg))
+	// NoC sharding is the same kind of speed knob (sharded and
+	// sequential runs are bit-identical and checkpoints interchange), so
+	// the worker count is excluded too — and stripped from the printed
+	// form entirely, keeping digests stable with checkpoints written
+	// before the field existed (the golden checkpoint pins this).
+	cfg.NocWorkers = 0
+	desc := strings.Replace(fmt.Sprintf("%+v", cfg), " NocWorkers:0", "", 1)
+	return snapshot.Digest("repro-ckpt", string(mode), workloadDesc, desc)
 }
 
 // EncodeCheckpoint serializes the complete co-simulation state —
